@@ -1,0 +1,269 @@
+// Package repro_test is the benchmark harness: one benchmark per paper
+// table and figure (Tables 1–2, Figures 4–13), plus ablation benchmarks
+// for the design choices called out in DESIGN.md §6.
+//
+// The figure benchmarks share two simulation matrices (static policies
+// and the full variant set) computed once per `go test -bench` process at
+// a reduced scale; each benchmark then reports its figure's headline
+// numbers as custom metrics. Use cmd/micache for full-scale runs and
+// printed tables.
+package repro_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// cachePortFunc adapts a func to cache.Port for microbenchmarks.
+type cachePortFunc func(*mem.Request)
+
+func (f cachePortFunc) Submit(r *mem.Request) { f(r) }
+
+// newBenchCache builds a small cache instance for hit-path benchmarks.
+func newBenchCache(sim *event.Sim, lower cache.Port) *cache.Cache {
+	return cache.New(cache.Config{
+		Name: "bench", Sets: 64, Ways: 8,
+		HitLatency: 4, LookupLatency: 1, FillLatency: 1,
+		MSHRs: 16, BypassEntries: 32, PortsPerCycle: 4,
+	}, sim, lower)
+}
+
+// benchScale keeps whole-matrix benchmarks in the tens of seconds.
+const benchScale = workloads.Scale(0.15)
+
+func benchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.GPU.CUs = 32
+	cfg.L2.SizeBytes = 1 << 20 // keep footprint:capacity regimes at benchScale
+	return cfg
+}
+
+var (
+	staticOnce sync.Once
+	staticM    *core.Matrix
+	allOnce    sync.Once
+	allM       *core.Matrix
+)
+
+func staticMatrix(b *testing.B) *core.Matrix {
+	b.Helper()
+	staticOnce.Do(func() {
+		rs, err := core.RunMatrix(benchConfig(), core.StaticVariants(), workloads.All(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		staticM = core.NewMatrix(rs)
+	})
+	if staticM == nil {
+		b.Fatal("static matrix unavailable")
+	}
+	return staticM
+}
+
+func allMatrix(b *testing.B) *core.Matrix {
+	b.Helper()
+	allOnce.Do(func() {
+		rs, err := core.RunMatrix(benchConfig(), core.AllVariants(), workloads.All(), benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		allM = core.NewMatrix(rs)
+	})
+	if allM == nil {
+		b.Fatal("full matrix unavailable")
+	}
+	return allM
+}
+
+// renderFig regenerates figure n from matrix m on every iteration and
+// reports the named per-workload values as metrics.
+func renderFig(b *testing.B, m *core.Matrix, n int, metrics map[string][2]string) {
+	cfg := benchConfig()
+	figs := report.Figures(cfg.GPUClockMHz)
+	fig := figs[n]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report.RenderFigure(io.Discard, fig, m, false)
+	}
+	b.StopTimer()
+	for name, wc := range metrics {
+		b.ReportMetric(fig.Value(m, wc[0], wc[1]), name)
+	}
+}
+
+// --- Tables ---
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		report.RenderTable1(io.Discard, cfg)
+	}
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.RenderTable2(io.Discard, benchScale)
+	}
+	b.ReportMetric(float64(len(workloads.All())), "workloads")
+}
+
+// --- Figures 4–5: bandwidth characterization (CacheR) ---
+
+func BenchmarkFig4GVOPS(b *testing.B) {
+	m := staticMatrix(b)
+	renderFig(b, m, 4, map[string][2]string{
+		"SGEMM_gvops": {"SGEMM", "CacheR"},
+		"FwAct_gvops": {"FwAct", "CacheR"},
+	})
+}
+
+func BenchmarkFig5GMRs(b *testing.B) {
+	m := staticMatrix(b)
+	renderFig(b, m, 5, map[string][2]string{
+		"FwAct_gmrs":  {"FwAct", "CacheR"},
+		"FwSoft_gmrs": {"FwSoft", "CacheR"},
+	})
+}
+
+// --- Figures 6–9: static policy comparison ---
+
+func BenchmarkFig6ExecTime(b *testing.B) {
+	m := staticMatrix(b)
+	renderFig(b, m, 6, map[string][2]string{
+		"FwAct_CacheR_norm":  {"FwAct", "CacheR"},
+		"BwBN_CacheRW_norm":  {"BwBN", "CacheRW"},
+		"SGEMM_CacheRW_norm": {"SGEMM", "CacheRW"},
+	})
+}
+
+func BenchmarkFig7MemDemand(b *testing.B) {
+	m := staticMatrix(b)
+	renderFig(b, m, 7, map[string][2]string{
+		"FwFc_CacheR_demand":  {"FwFc", "CacheR"},
+		"FwAct_CacheR_demand": {"FwAct", "CacheR"},
+	})
+}
+
+func BenchmarkFig8CacheStalls(b *testing.B) {
+	m := staticMatrix(b)
+	renderFig(b, m, 8, map[string][2]string{
+		"FwAct_Uncached_stalls": {"FwAct", "Uncached"},
+		"FwAct_CacheRW_stalls":  {"FwAct", "CacheRW"},
+	})
+}
+
+func BenchmarkFig9RowHits(b *testing.B) {
+	m := staticMatrix(b)
+	renderFig(b, m, 9, map[string][2]string{
+		"FwAct_Uncached_rowhit": {"FwAct", "Uncached"},
+		"FwAct_CacheRW_rowhit":  {"FwAct", "CacheRW"},
+	})
+}
+
+// --- Figures 10–13: optimization stack ---
+
+func BenchmarkFig10Optimizations(b *testing.B) {
+	m := allMatrix(b)
+	renderFig(b, m, 10, map[string][2]string{
+		"FwAct_PCby_vs_best": {"FwAct", "CacheRW-PCby"},
+		"BwBN_PCby_vs_best":  {"BwBN", "CacheRW-PCby"},
+	})
+}
+
+func BenchmarkFig11OptMemDemand(b *testing.B) {
+	m := allMatrix(b)
+	renderFig(b, m, 11, map[string][2]string{
+		"FwFc_PCby_demand": {"FwFc", "CacheRW-PCby"},
+	})
+}
+
+func BenchmarkFig12OptStalls(b *testing.B) {
+	m := allMatrix(b)
+	renderFig(b, m, 12, map[string][2]string{
+		"FwAct_AB_stalls": {"FwAct", "CacheRW-AB"},
+	})
+}
+
+func BenchmarkFig13OptRowHits(b *testing.B) {
+	m := allMatrix(b)
+	renderFig(b, m, 13, map[string][2]string{
+		"BwAct_CR_rowhit": {"BwAct", "CacheRW-CR"},
+	})
+}
+
+// --- Component microbenchmarks (simulator throughput) ---
+
+func BenchmarkEventEngine(b *testing.B) {
+	sim := event.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.Schedule(1, tick)
+		}
+	}
+	sim.Schedule(1, tick)
+	sim.Run()
+}
+
+func BenchmarkCacheHitPath(b *testing.B) {
+	// Steady-state hit throughput of one cache instance.
+	sim := event.New()
+	sink := cachePortFunc(func(r *mem.Request) {
+		if r.Done != nil {
+			sim.Schedule(10, r.Done)
+		}
+	})
+	c := newBenchCache(sim, sink)
+	c.Submit(&mem.Request{ID: 1, Line: 0x1000, Kind: mem.Load})
+	sim.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(&mem.Request{ID: uint64(i), Line: 0x1000, Kind: mem.Load})
+		sim.Run()
+	}
+}
+
+func BenchmarkDRAMStream(b *testing.B) {
+	sim := event.New()
+	d := dram.New(dram.Default(), sim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Submit(&mem.Request{ID: uint64(i), Line: mem.Addr(i * mem.LineSize), Kind: mem.Load})
+		if i%256 == 255 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}
+
+func BenchmarkEndToEndSmallWorkload(b *testing.B) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := core.VariantByLabel("CacheRW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunOne(cfg, v, spec, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

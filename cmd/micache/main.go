@@ -1,0 +1,234 @@
+// Command micache reproduces the evaluation of "Optimizing GPU Cache
+// Policies for MI Workloads" (Alsop et al., IISWC 2019): it runs the 17
+// Table 2 MI workloads on the simulated APU under the paper's cache
+// policies and optimizations, and regenerates every table and figure.
+//
+// Usage:
+//
+//	micache -table 2                 # print a table (1 or 2)
+//	micache -figure 6                # regenerate one figure (4..13)
+//	micache -all                     # regenerate everything
+//	micache -workload FwAct -policy CacheRW   # one cell, verbose stats
+//	micache -scale 0.25              # smaller/faster inputs
+//	micache -csv                     # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "micache:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("micache", flag.ContinueOnError)
+	var (
+		table    = fs.Int("table", 0, "print paper table N (1 or 2)")
+		figure   = fs.Int("figure", 0, "regenerate paper figure N (4..13)")
+		all      = fs.Bool("all", false, "regenerate every table and figure")
+		workload = fs.String("workload", "", "run a single workload (e.g. FwAct)")
+		variant  = fs.String("policy", "CacheRW", "variant for -workload (Uncached, CacheR, CacheRW, CacheRW-AB, CacheRW-CR, CacheRW-PCby)")
+		scale    = fs.Float64("scale", 1.0, "workload size multiplier")
+		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
+		cus      = fs.Int("cus", 0, "override compute-unit count (default: Table 1's 64)")
+		record   = fs.String("record", "", "with -workload: write the memory trace to FILE")
+		replay   = fs.String("replay", "", "replay a recorded trace under -policy (trace-driven mode)")
+		window   = fs.Int("window", 64, "outstanding-request window for -replay (0 = timed replay)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig()
+	if *cus > 0 {
+		cfg.GPU.CUs = *cus
+	}
+	sc := workloads.Scale(*scale)
+	out := os.Stdout
+
+	switch {
+	case *table == 1:
+		report.RenderTable1(out, cfg)
+		return nil
+	case *table == 2:
+		report.RenderTable2(out, sc)
+		return nil
+	case *table != 0:
+		return fmt.Errorf("unknown table %d (the paper has tables 1 and 2)", *table)
+	case *replay != "":
+		return runReplay(cfg, *replay, *variant, *window)
+	case *workload != "":
+		return runSingle(cfg, *workload, *variant, sc, *record)
+	case *figure != 0:
+		return runFigures(cfg, []int{*figure}, sc, *csv)
+	case *all:
+		report.RenderTable1(out, cfg)
+		report.RenderTable2(out, sc)
+		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv)
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -table, -figure or -workload")
+	}
+}
+
+// runSingle runs one workload under one variant and prints full stats;
+// with recordPath it also captures and writes the memory trace.
+func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string) error {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return err
+	}
+	v, err := core.VariantByLabel(label)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var r core.Result
+	if recordPath != "" {
+		var tr *trace.Trace
+		r, tr, err = core.RunRecorded(cfg, v, spec, sc)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(recordPath)
+		if err != nil {
+			return err
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d events to %s\n", len(tr.Events), recordPath)
+	} else {
+		r, err = core.RunOne(cfg, v, spec, sc)
+		if err != nil {
+			return err
+		}
+	}
+	s := r.Snap
+	fmt.Printf("%s under %s (%s class, simulated in %v)\n",
+		r.Workload, r.Variant, r.Class, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  cycles             %d\n", s.Cycles)
+	fmt.Printf("  GVOPS              %.1f\n", s.GVOPS(cfg.GPUClockMHz))
+	fmt.Printf("  GMR/s              %.2f\n", s.GMRs(cfg.GPUClockMHz))
+	fmt.Printf("  GPU mem requests   %d\n", s.GPUMemRequests)
+	fmt.Printf("  DRAM accesses      %d (reads %d, writes %d)\n",
+		s.DRAM.Accesses(), s.DRAM.Reads, s.DRAM.Writes)
+	fmt.Printf("  DRAM row hit rate  %.1f%%\n", 100*s.DRAM.RowHitRate())
+	fmt.Printf("  stalls per request %.3f (L1 %d, L2 %d)\n",
+		s.StallsPerRequest(), s.L1.Stalls, s.L2.Stalls)
+	l1, l2 := s.L1, s.L2
+	fmt.Printf("  stall causes (L1)  port %d, alloc %d, mshr %d, bypass %d, line %d\n",
+		l1.StallPort, l1.StallAlloc, l1.StallMSHR, l1.StallBypass, l1.StallLine)
+	fmt.Printf("  stall causes (L2)  port %d, alloc %d, mshr %d, bypass %d, line %d\n",
+		l2.StallPort, l2.StallAlloc, l2.StallMSHR, l2.StallBypass, l2.StallLine)
+	fmt.Printf("  L1 hit rate        %.1f%%  L2 hit rate %.1f%%\n",
+		100*s.L1.HitRate(), 100*s.L2.HitRate())
+	fmt.Printf("  L2 writebacks      %d (rinses %d)\n", s.L2.Writebacks, s.L2.Rinses)
+	fmt.Printf("  bypasses           L1 %d, L2 %d (predictor %d, alloc %d)\n",
+		s.L1.Bypasses, s.L2.Bypasses, s.L2.PredBypass, s.L1.AllocBypass+s.L2.AllocBypass)
+	fmt.Printf("  kernels            %d\n", s.Kernels)
+	return nil
+}
+
+// runReplay drives a recorded trace through the memory system under the
+// given policy variant (trace-driven what-if mode).
+func runReplay(cfg core.Config, path, label string, window int) error {
+	v, err := core.VariantByLabel(label)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr trace.Trace
+	if _, err := tr.ReadFrom(f); err != nil {
+		return err
+	}
+	mode := trace.Windowed
+	if window <= 0 {
+		mode = trace.Timed
+	}
+	start := time.Now()
+	snap, err := core.ReplayTrace(cfg, v, &tr, mode, window)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d events under %s (in %v)\n",
+		len(tr.Events), v.Label, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  cycles             %d\n", snap.Cycles)
+	fmt.Printf("  DRAM accesses      %d (reads %d, writes %d)\n",
+		snap.DRAM.Accesses(), snap.DRAM.Reads, snap.DRAM.Writes)
+	fmt.Printf("  DRAM row hit rate  %.1f%%\n", 100*snap.DRAM.RowHitRate())
+	fmt.Printf("  L1 hit rate        %.1f%%  L2 hit rate %.1f%%\n",
+		100*snap.L1.HitRate(), 100*snap.L2.HitRate())
+	fmt.Printf("  stalls per request %.3f\n", snap.StallsPerRequest())
+	return nil
+}
+
+// runFigures computes the result matrix once and renders the requested
+// figures.
+func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool) error {
+	specs := workloads.All()
+	figMap := report.Figures(cfg.GPUClockMHz)
+	sort.Ints(figs)
+	for _, f := range figs {
+		if _, ok := figMap[f]; !ok {
+			return fmt.Errorf("unknown figure %d (the evaluation has figures 4..13)", f)
+		}
+	}
+
+	// Figures 4/5 need only CacheR; others need the full variant set.
+	needOpt := false
+	needStatic := false
+	for _, f := range figs {
+		if f >= 6 {
+			needStatic = true
+		}
+		if f >= 10 {
+			needOpt = true
+		}
+	}
+	var variants []core.Variant
+	switch {
+	case needOpt:
+		variants = core.AllVariants()
+	case needStatic:
+		variants = core.StaticVariants()
+	default:
+		v, _ := core.VariantByLabel("CacheR")
+		variants = []core.Variant{v}
+	}
+
+	start := time.Now()
+	results, err := core.RunMatrix(cfg, variants, specs, sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ran %d simulations in %v\n",
+		len(results), time.Since(start).Round(time.Millisecond))
+
+	m := core.NewMatrix(results)
+	for _, f := range figs {
+		report.RenderFigure(os.Stdout, figMap[f], m, csv)
+	}
+	return nil
+}

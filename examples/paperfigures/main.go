@@ -1,0 +1,42 @@
+// Paperfigures: regenerate every table and figure of the paper's
+// evaluation in one run (equivalent to `micache -all`), at a reduced
+// scale by default so it completes quickly.
+//
+//	go run ./examples/paperfigures [-scale 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "workload size multiplier")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	sc := workloads.Scale(*scale)
+
+	report.RenderTable1(os.Stdout, cfg)
+	report.RenderTable2(os.Stdout, sc)
+
+	start := time.Now()
+	results, err := core.RunMatrix(cfg, core.AllVariants(), workloads.All(), sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%d simulations in %v)\n\n", len(results), time.Since(start).Round(time.Millisecond))
+
+	m := core.NewMatrix(results)
+	figs := report.Figures(cfg.GPUClockMHz)
+	for n := 4; n <= 13; n++ {
+		report.RenderFigure(os.Stdout, figs[n], m, false)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the Table 1 APU, run one MI workload under one cache
+// policy, and print the statistics the paper's figures are made of.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// The default configuration is the paper's Table 1 system: a 64-CU
+	// GPU at 1.6 GHz with 16 KB L1s, a 4 MB shared L2 and 16-channel
+	// HBM2, coherently coupled through a directory.
+	cfg := core.DefaultConfig()
+
+	// Pick a workload from Table 2 and a caching policy.
+	spec, err := workloads.ByName("FwFc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	variant, err := core.VariantByLabel("CacheRW")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run at a reduced scale so the quickstart finishes in seconds.
+	result, err := core.RunOne(cfg, variant, spec, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := result.Snap
+	fmt.Printf("%s under %s\n", result.Workload, result.Variant)
+	fmt.Printf("  execution time: %d cycles (%.3f ms at %.0f MHz)\n",
+		s.Cycles, float64(s.Cycles)/(cfg.GPUClockMHz*1e3), cfg.GPUClockMHz)
+	fmt.Printf("  compute bandwidth: %.0f GVOPS\n", s.GVOPS(cfg.GPUClockMHz))
+	fmt.Printf("  memory requests:   %.2f GMR/s\n", s.GMRs(cfg.GPUClockMHz))
+	fmt.Printf("  DRAM accesses:     %d (row hit rate %.1f%%)\n",
+		s.DRAM.Accesses(), 100*s.DRAM.RowHitRate())
+	fmt.Printf("  L1 hit rate %.1f%%, L2 hit rate %.1f%%\n",
+		100*s.L1.HitRate(), 100*s.L2.HitRate())
+	fmt.Printf("  cache stalls per request: %.3f\n", s.StallsPerRequest())
+}

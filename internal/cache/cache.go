@@ -1,0 +1,811 @@
+// Package cache implements the set-associative GPU caches (per-CU L1 and
+// the banked, shared L2) used by the caching-policy study.
+//
+// The model reproduces the mechanisms the paper identifies as the sources
+// of caching overhead in MI workloads:
+//
+//   - Blocking allocation: a missing request needs a victim way; if every
+//     way in the target set holds a pending fill the request stalls until
+//     a way frees (Section VI.C.1 of the paper). The allocation-bypass
+//     optimization converts such requests to bypass requests instead.
+//   - MSHR coalescing: misses to a line with a pending fill merge into the
+//     existing MSHR; bypass loads to a pending bypass line merge likewise.
+//   - Write combining: under CacheRW the L2 allocates store lines without
+//     fetching and holds them dirty until a system-scope flush.
+//   - Self-invalidation: valid clean data is dropped at kernel boundaries.
+//
+// Stall cycles are accounted exactly: a request blocked on ports, MSHRs,
+// or allocation accumulates the real number of cycles it waited, matching
+// the paper's definition ("any cycle in which a ready cache request is
+// blocked from querying a cache at any level").
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Port is any component that accepts line-granularity memory requests.
+// Caches, the coherence directory, and the DRAM controller implement it.
+type Port interface {
+	Submit(req *mem.Request)
+}
+
+// PortFunc adapts a function to the Port interface.
+type PortFunc func(req *mem.Request)
+
+// Submit implements Port.
+func (f PortFunc) Submit(req *mem.Request) { f(req) }
+
+// Predictor decides, per static instruction (PC), whether a request should
+// bypass this cache level. The PC-based L2 bypassing optimization
+// (Tian et al. [54], applied at L2 per the paper) implements it in
+// internal/policy.
+type Predictor interface {
+	// ShouldBypass reports whether the request at pc should skip
+	// allocation at this level.
+	ShouldBypass(pc uint64, kind mem.Kind) bool
+	// OnHit notifies the predictor that a line allocated by pc was hit.
+	OnHit(pc uint64)
+	// OnEvict notifies the predictor that a line allocated by pc left
+	// the cache, and whether it had been reused while resident.
+	OnEvict(pc uint64, reused bool)
+}
+
+// Rinser is the dirty-block index used by row-locality-aware cache rinsing
+// (Seshadri et al. [58]). The cache keeps it informed of dirty state and,
+// on a dirty eviction, asks for the other dirty lines in the same DRAM row
+// so they can be written back together.
+type Rinser interface {
+	OnDirty(line mem.Addr)
+	OnClean(line mem.Addr)
+	// RowMates returns the dirty lines sharing a DRAM row with line,
+	// excluding line itself.
+	RowMates(line mem.Addr) []mem.Addr
+}
+
+// Config parameterizes one cache instance.
+type Config struct {
+	// Name labels the instance in errors and debug output.
+	Name string
+	// Sets and Ways define the geometry. Lines are mem.LineSize bytes.
+	Sets, Ways int
+	// HitLatency is accept-to-response latency for a hit, in cycles.
+	HitLatency event.Cycle
+	// LookupLatency is the tag-access time added before a miss or
+	// bypass is forwarded to the lower level.
+	LookupLatency event.Cycle
+	// FillLatency is added between the lower level's response and this
+	// cache's response to waiters.
+	FillLatency event.Cycle
+	// MSHRs bounds outstanding fetch misses (distinct lines).
+	MSHRs int
+	// BypassEntries bounds outstanding bypassed loads (distinct lines).
+	BypassEntries int
+	// PortsPerCycle is how many lookups may start per cycle.
+	PortsPerCycle int
+	// StoreAllocate enables write-combining allocation for stores
+	// (the L2 under CacheRW). When false, cached stores are not
+	// expected at this level and are treated as bypasses.
+	StoreAllocate bool
+	// AllocBypass converts requests that would block on allocation
+	// into bypass requests (the CacheRW-AB optimization).
+	AllocBypass bool
+	// Predictor, if non-nil, is consulted for every cacheable request
+	// (the CacheRW-PCby optimization).
+	Predictor Predictor
+	// PredictorSampleEvery forces every Nth predicted-bypass request to
+	// cache anyway so the predictor keeps training. Zero disables
+	// sampling.
+	PredictorSampleEvery int
+	// Rinser, if non-nil, enables dirty-block-index rinsing
+	// (the CacheRW-CR optimization).
+	Rinser Rinser
+}
+
+func (c *Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: Sets must be a positive power of two, got %d", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: Ways must be positive, got %d", c.Name, c.Ways)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cache %s: MSHRs must be positive, got %d", c.Name, c.MSHRs)
+	}
+	if c.BypassEntries <= 0 {
+		return fmt.Errorf("cache %s: BypassEntries must be positive, got %d", c.Name, c.BypassEntries)
+	}
+	if c.PortsPerCycle <= 0 {
+		return fmt.Errorf("cache %s: PortsPerCycle must be positive, got %d", c.Name, c.PortsPerCycle)
+	}
+	return nil
+}
+
+type line struct {
+	tag    mem.Addr // line address
+	valid  bool
+	dirty  bool
+	busy   bool // fill pending
+	lru    uint64
+	pc     uint64 // PC that allocated the line (predictor training)
+	reused bool   // hit at least once since allocation
+}
+
+type mshr struct {
+	line    mem.Addr
+	set     int
+	way     int
+	waiters []*mem.Request
+}
+
+type bypassEntry struct {
+	line    mem.Addr
+	waiters []*mem.Request
+}
+
+// chainKind identifies the wait list a woken transaction carries wake
+// responsibility for.
+type chainKind uint8
+
+const (
+	chainNone chainKind = iota
+	chainSet
+	chainMSHR
+	chainBypass
+)
+
+// stallCause labels what a blocked transaction is waiting for.
+type stallCause uint8
+
+const (
+	causePort stallCause = iota
+	causeAlloc
+	causeMSHR
+	causeBypass
+	causeLine
+)
+
+// txn wraps a request while it is being (re)tried at this cache.
+type txn struct {
+	req          *mem.Request
+	blockedSince event.Cycle
+	blocked      bool
+	cause        stallCause
+	// chain marks that this txn was woken from a wait list and must
+	// pass the wake-up along when it resolves without re-blocking on
+	// the same resource. chainSetIdx qualifies chainSet.
+	chain       chainKind
+	chainSetIdx int
+}
+
+// Cache is one set-associative cache instance attached to a lower-level
+// Port. It is not safe for concurrent use; the single-threaded event loop
+// drives it.
+type Cache struct {
+	cfg   Config
+	sim   *event.Sim
+	lower Port
+
+	sets     [][]line
+	setMask  mem.Addr
+	lruTick  uint64
+	mshrs    map[mem.Addr]*mshr
+	bypasses map[mem.Addr]*bypassEntry
+
+	// port accounting: virtual lookup-slot sequencing. Slot s is
+	// serviced in cycle s/PortsPerCycle; blocked requests are scheduled
+	// directly at their slot's cycle instead of polling.
+	nextSlot uint64
+
+	// wait lists
+	setWaiters  map[int][]*txn      // blocked on allocation in a set
+	lineWaiters map[mem.Addr][]*txn // stores blocked on a pending fill of their line
+	mshrWaiters []*txn              // blocked on a free MSHR
+	bypWaiters  []*txn              // blocked on a free bypass entry
+
+	predSample int
+
+	// Stats accumulates this instance's counters.
+	Stats stats.CacheStats
+}
+
+// New builds a cache. It panics on invalid configuration: geometry errors
+// are programming mistakes, not runtime conditions.
+func New(cfg Config, sim *event.Sim, lower Port) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if sim == nil || lower == nil {
+		panic(fmt.Sprintf("cache %s: nil sim or lower level", cfg.Name))
+	}
+	c := &Cache{
+		cfg:         cfg,
+		sim:         sim,
+		lower:       lower,
+		sets:        make([][]line, cfg.Sets),
+		setMask:     mem.Addr(cfg.Sets - 1),
+		mshrs:       make(map[mem.Addr]*mshr),
+		bypasses:    make(map[mem.Addr]*bypassEntry),
+		setWaiters:  make(map[int][]*txn),
+		lineWaiters: make(map[mem.Addr][]*txn),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// setOf maps a line address to its set index.
+func (c *Cache) setOf(lineAddr mem.Addr) int {
+	return int((lineAddr >> mem.LineShift) & c.setMask)
+}
+
+// Submit implements Port. The request is processed starting this cycle.
+func (c *Cache) Submit(req *mem.Request) {
+	t := &txn{req: req}
+	c.try(t)
+}
+
+// try attempts the access now; on any structural block it records the
+// stall start and parks the transaction on the appropriate wait list.
+func (c *Cache) try(t *txn) {
+	now := c.sim.Now()
+	// Port check: PortsPerCycle lookups may start per cycle. Claim the
+	// next virtual slot; if it lands in a future cycle, wait for it
+	// (an exact, poll-free model of tag-port contention).
+	nowSlot := uint64(now) * uint64(c.cfg.PortsPerCycle)
+	if c.nextSlot < nowSlot {
+		c.nextSlot = nowSlot
+	}
+	slot := c.nextSlot
+	c.nextSlot++
+	at := event.Cycle(slot / uint64(c.cfg.PortsPerCycle))
+	if at > now {
+		c.blockFor(t, causePort)
+		c.sim.At(at, func() { c.access(t) })
+		return
+	}
+	c.access(t)
+}
+
+// access dispatches a transaction that holds a port slot this cycle.
+func (c *Cache) access(t *txn) {
+	req := t.req
+	if req.Bypass || (req.Kind == mem.Store && !c.cfg.StoreAllocate) {
+		c.tryBypass(t)
+		return
+	}
+	if c.cfg.Predictor != nil && c.cfg.Predictor.ShouldBypass(req.PC, req.Kind) {
+		c.predSample++
+		if c.cfg.PredictorSampleEvery == 0 || c.predSample%c.cfg.PredictorSampleEvery != 0 {
+			c.Stats.PredBypass++
+			c.tryBypass(t)
+			return
+		}
+	}
+	c.tryCached(t)
+}
+
+// blockFor marks the start (or cause change) of a stall episode for t.
+func (c *Cache) blockFor(t *txn, cause stallCause) {
+	if t.blocked {
+		if t.cause == cause {
+			return
+		}
+		c.accountStall(t)
+	}
+	t.blocked = true
+	t.blockedSince = c.sim.Now()
+	t.cause = cause
+}
+
+// accountStall closes the current stall segment, attributing it.
+func (c *Cache) accountStall(t *txn) {
+	d := uint64(c.sim.Now() - t.blockedSince)
+	t.blockedSince = c.sim.Now()
+	if d == 0 {
+		return
+	}
+	c.Stats.Stalls += d
+	switch t.cause {
+	case causePort:
+		c.Stats.StallPort += d
+	case causeAlloc:
+		c.Stats.StallAlloc += d
+	case causeMSHR:
+		c.Stats.StallMSHR += d
+	case causeBypass:
+		c.Stats.StallBypass += d
+	case causeLine:
+		c.Stats.StallLine += d
+	}
+}
+
+// unblock ends a stall episode, accumulating the waited cycles, and
+// passes along any wake-up chain the transaction carried: the woken txn
+// has resolved, so if its origin resource is still available another
+// waiter may proceed.
+func (c *Cache) unblock(t *txn) {
+	if t.blocked {
+		c.accountStall(t)
+		t.blocked = false
+	}
+	c.fireChain(t)
+}
+
+// fireChain continues the wake-up chain carried by t, if any.
+func (c *Cache) fireChain(t *txn) {
+	kind := t.chain
+	t.chain = chainNone
+	switch kind {
+	case chainSet:
+		if c.setHasFreeWay(t.chainSetIdx) {
+			c.wakeSet(t.chainSetIdx)
+		}
+	case chainMSHR:
+		if len(c.mshrs) < c.cfg.MSHRs {
+			c.wakeMSHR()
+		}
+	case chainBypass:
+		if len(c.bypasses) < c.cfg.BypassEntries {
+			c.wakeBypass()
+		}
+	}
+}
+
+// park appends t to a wait list identified by (kind, set). If t carries a
+// wake chain for a different resource, the chain continues; a chain for
+// the same resource is dropped (the resource was consumed by someone
+// else, whose completion will generate the next wake-up).
+func (c *Cache) park(t *txn, kind chainKind, set int) {
+	switch kind {
+	case chainSet:
+		c.blockFor(t, causeAlloc)
+	case chainMSHR:
+		c.blockFor(t, causeMSHR)
+	case chainBypass:
+		c.blockFor(t, causeBypass)
+	}
+	if t.chain != chainNone && !(t.chain == kind && (kind != chainSet || t.chainSetIdx == set)) {
+		c.fireChain(t)
+	} else {
+		t.chain = chainNone
+	}
+	switch kind {
+	case chainSet:
+		c.setWaiters[set] = append(c.setWaiters[set], t)
+	case chainMSHR:
+		c.mshrWaiters = append(c.mshrWaiters, t)
+	case chainBypass:
+		c.bypWaiters = append(c.bypWaiters, t)
+	}
+}
+
+// tryCached handles a request that wants to allocate at this level.
+func (c *Cache) tryCached(t *txn) {
+	req := t.req
+	set := c.setOf(req.Line)
+	ways := c.sets[set]
+
+	// Hit?
+	for i := range ways {
+		l := &ways[i]
+		if l.valid && !l.busy && l.tag == req.Line {
+			c.unblock(t)
+			c.Stats.Hits++
+			c.lruTick++
+			l.lru = c.lruTick
+			if !l.reused {
+				l.reused = true
+				if c.cfg.Predictor != nil {
+					c.cfg.Predictor.OnHit(l.pc)
+				}
+			}
+			if req.Kind == mem.Store {
+				c.markDirty(l)
+			}
+			c.respond(req, c.cfg.HitLatency)
+			return
+		}
+	}
+
+	// Pending fill for this line? Coalesce loads; stores wait for the
+	// fill to complete (they need the line valid to merge into).
+	if m, ok := c.mshrs[req.Line]; ok {
+		if req.Kind == mem.Load {
+			c.unblock(t)
+			c.Stats.Coalesced++
+			m.waiters = append(m.waiters, req)
+			return
+		}
+		c.blockFor(t, causeLine)
+		c.fireChain(t) // waiting on a fill, not on the chained resource
+		c.lineWaiters[req.Line] = append(c.lineWaiters[req.Line], t)
+		return
+	}
+
+	// Miss: stores with StoreAllocate combine without fetching;
+	// loads need an MSHR.
+	// MSHR exhaustion waits; it is tracking-capacity pressure, not the
+	// blocking-allocation pathology, and converting here would discard
+	// reuse the allocation-bypass optimization means to preserve.
+	if req.Kind == mem.Load && len(c.mshrs) >= c.cfg.MSHRs {
+		c.park(t, chainMSHR, 0)
+		return
+	}
+
+	// Find a victim way: prefer invalid, else least-recently-used
+	// non-busy way.
+	victim := -1
+	var bestLRU uint64
+	for i := range ways {
+		l := &ways[i]
+		if l.busy {
+			continue
+		}
+		if !l.valid {
+			victim = i
+			break
+		}
+		if victim == -1 || l.lru < bestLRU {
+			victim = i
+			bestLRU = l.lru
+		}
+	}
+	if victim == -1 {
+		// Every way holds a pending fill: blocking allocation.
+		if c.cfg.AllocBypass {
+			c.Stats.AllocBypass++
+			c.tryBypass(t)
+			return
+		}
+		c.park(t, chainSet, set)
+		return
+	}
+
+	c.unblock(t)
+	c.evict(set, victim)
+	l := &ways[victim]
+	c.lruTick++
+	*l = line{tag: req.Line, lru: c.lruTick, pc: req.PC}
+
+	if req.Kind == mem.Store {
+		// Write-combining allocation: no fetch. The full line is
+		// considered written (the coalescer emits line-granularity
+		// stores).
+		c.Stats.Misses++
+		l.valid = true
+		c.markDirty(l)
+		c.respond(req, c.cfg.HitLatency)
+		c.wakeSet(set)
+		return
+	}
+
+	// Load miss: reserve the way, allocate an MSHR, fetch below.
+	c.Stats.Misses++
+	l.busy = true
+	m := &mshr{line: req.Line, set: set, way: victim, waiters: []*mem.Request{req}}
+	c.mshrs[req.Line] = m
+	fetch := &mem.Request{
+		ID:        req.ID,
+		PC:        req.PC,
+		Line:      req.Line,
+		Kind:      mem.Load,
+		CU:        req.CU,
+		Wavefront: req.Wavefront,
+		Done:      func() { c.fill(m) },
+	}
+	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fetch) })
+}
+
+// fill completes an outstanding miss: the line becomes valid and all
+// coalesced waiters are answered.
+func (c *Cache) fill(m *mshr) {
+	delete(c.mshrs, m.line)
+	l := &c.sets[m.set][m.way]
+	if l.busy && l.tag == m.line {
+		l.busy = false
+		l.valid = true
+	}
+	for _, w := range m.waiters {
+		c.respond(w, c.cfg.FillLatency)
+	}
+	// Stores that were waiting for this exact fill can all proceed
+	// (they will hit the now-valid line, or re-miss harmlessly if a
+	// chained allocator evicts it first).
+	if lw := c.lineWaiters[m.line]; len(lw) > 0 {
+		delete(c.lineWaiters, m.line)
+		for _, t := range lw {
+			t := t
+			c.sim.Schedule(1, func() { c.try(t) })
+		}
+	}
+	c.wakeSet(m.set)
+	c.wakeMSHR()
+}
+
+// tryBypass handles a request that skips allocation at this level.
+// Bypass loads to the same line coalesce while the original is pending.
+func (c *Cache) tryBypass(t *txn) {
+	req := t.req
+	if req.Kind == mem.Load {
+		if e, ok := c.bypasses[req.Line]; ok {
+			c.unblock(t)
+			c.Stats.Coalesced++
+			e.waiters = append(e.waiters, req)
+			return
+		}
+		if len(c.bypasses) >= c.cfg.BypassEntries {
+			c.park(t, chainBypass, 0)
+			return
+		}
+		c.unblock(t)
+		c.Stats.Bypasses++
+		e := &bypassEntry{line: req.Line, waiters: []*mem.Request{req}}
+		c.bypasses[req.Line] = e
+		// The forwarded request inherits the original's Bypass flag:
+		// a locally-bypassed request (store at a no-store-allocate
+		// level, predictor or allocation bypass) may still cache at
+		// the level below; only Uncached-policy traffic carries
+		// Bypass=true end to end.
+		fwd := &mem.Request{
+			ID: req.ID, PC: req.PC, Line: req.Line, Kind: mem.Load,
+			CU: req.CU, Wavefront: req.Wavefront, Bypass: req.Bypass,
+			// Bypassed loads traverse the same response pipeline
+			// stage as fills, so the uncontested memory latency is
+			// policy-independent (Table 1's ≈225 cycles).
+			Done: func() {
+				delete(c.bypasses, req.Line)
+				for _, w := range e.waiters {
+					c.respond(w, c.cfg.FillLatency)
+				}
+				c.wakeBypass()
+			},
+		}
+		c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fwd) })
+		return
+	}
+
+	// Bypass store: forward downward; the lower level acks.
+	c.unblock(t)
+	c.Stats.Bypasses++
+	fwd := &mem.Request{
+		ID: req.ID, PC: req.PC, Line: req.Line, Kind: mem.Store,
+		CU: req.CU, Wavefront: req.Wavefront, Bypass: req.Bypass,
+		Done: func() { c.respond(req, 0) },
+	}
+	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fwd) })
+}
+
+// markDirty sets the dirty bit and informs the rinser's dirty-block index.
+func (c *Cache) markDirty(l *line) {
+	if !l.dirty {
+		l.dirty = true
+		if c.cfg.Rinser != nil {
+			c.cfg.Rinser.OnDirty(l.tag)
+		}
+	}
+}
+
+// evict clears a victim way, writing back dirty data. With a rinser
+// attached, a dirty eviction also rinses every other dirty line in the
+// same DRAM row (they are written back but stay valid-clean).
+func (c *Cache) evict(set, way int) {
+	l := &c.sets[set][way]
+	if !l.valid {
+		return
+	}
+	if c.cfg.Predictor != nil {
+		c.cfg.Predictor.OnEvict(l.pc, l.reused)
+	}
+	if l.dirty {
+		c.writeback(l.tag)
+		if c.cfg.Rinser != nil {
+			c.cfg.Rinser.OnClean(l.tag)
+			for _, mate := range c.cfg.Rinser.RowMates(l.tag) {
+				c.rinse(mate)
+			}
+		}
+	}
+	l.valid = false
+	l.dirty = false
+}
+
+// rinse writes back a still-resident dirty line and marks it clean.
+func (c *Cache) rinse(lineAddr mem.Addr) {
+	set := c.setOf(lineAddr)
+	ways := c.sets[set]
+	for i := range ways {
+		l := &ways[i]
+		if l.valid && l.dirty && l.tag == lineAddr {
+			l.dirty = false
+			c.Stats.Rinses++
+			c.writeback(lineAddr)
+			if c.cfg.Rinser != nil {
+				c.cfg.Rinser.OnClean(lineAddr)
+			}
+			return
+		}
+	}
+}
+
+// writeback sends a fire-and-forget store toward memory.
+func (c *Cache) writeback(lineAddr mem.Addr) {
+	c.Stats.Writebacks++
+	wb := &mem.Request{Line: lineAddr, Kind: mem.Store, Bypass: true}
+	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(wb) })
+}
+
+// respond completes a request after the given delay.
+func (c *Cache) respond(req *mem.Request, delay event.Cycle) {
+	if req.Done == nil {
+		return
+	}
+	if delay == 0 {
+		req.Done()
+		return
+	}
+	c.sim.Schedule(delay, req.Done)
+}
+
+// Wake-ups are chained rather than broadcast: each resource-freeing
+// event retries one waiter, and if that waiter resolves without consuming
+// the freed resource (e.g. its line has become valid meanwhile), the next
+// waiter is retried. Chaining keeps the event count linear in requests
+// where a broadcast would be quadratic under saturation, and the
+// post-retry availability check makes it deadlock-free.
+
+// wakeSet retries one transaction blocked on allocation in set. The
+// transaction carries the wake-up chain: when it resolves without
+// re-blocking on the same set, the next waiter is woken if a way remains
+// allocatable.
+func (c *Cache) wakeSet(set int) {
+	ws := c.setWaiters[set]
+	if len(ws) == 0 {
+		return
+	}
+	t := ws[0]
+	if len(ws) == 1 {
+		delete(c.setWaiters, set)
+	} else {
+		c.setWaiters[set] = ws[1:]
+	}
+	t.chain = chainSet
+	t.chainSetIdx = set
+	c.sim.Schedule(1, func() { c.try(t) })
+}
+
+// setHasFreeWay reports whether any way in set could be allocated now.
+func (c *Cache) setHasFreeWay(set int) bool {
+	ways := c.sets[set]
+	for i := range ways {
+		if !ways[i].busy {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeMSHR retries one transaction blocked on a free MSHR; the chain
+// continues when it resolves without consuming one.
+func (c *Cache) wakeMSHR() {
+	if len(c.mshrWaiters) == 0 {
+		return
+	}
+	t := c.mshrWaiters[0]
+	c.mshrWaiters = c.mshrWaiters[1:]
+	t.chain = chainMSHR
+	c.sim.Schedule(1, func() { c.try(t) })
+}
+
+// wakeBypass retries one transaction blocked on a free bypass entry; the
+// chain continues when it resolves without consuming one.
+func (c *Cache) wakeBypass() {
+	if len(c.bypWaiters) == 0 {
+		return
+	}
+	t := c.bypWaiters[0]
+	c.bypWaiters = c.bypWaiters[1:]
+	t.chain = chainBypass
+	c.sim.Schedule(1, func() { c.try(t) })
+}
+
+// InvalidateClean drops every valid clean line, modelling GPU
+// self-invalidation at a kernel boundary. Dirty lines (combined stores
+// awaiting a system-scope flush) and pending fills are untouched.
+func (c *Cache) InvalidateClean() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && !l.busy && !l.dirty {
+				if c.cfg.Predictor != nil {
+					c.cfg.Predictor.OnEvict(l.pc, l.reused)
+				}
+				l.valid = false
+				c.Stats.Invalidates++
+			}
+		}
+	}
+}
+
+// FlushDirty writes back and invalidates every dirty line, modelling the
+// system-scope synchronization flush. done (if non-nil) runs after the
+// last writeback has been accepted by the lower level; the flush issues
+// writebacks paced by LookupLatency so they arrive as a burst in address
+// order, as a hardware flush walker would generate them.
+func (c *Cache) FlushDirty(done func()) {
+	var lines []mem.Addr
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && !l.busy && l.dirty {
+				lines = append(lines, l.tag)
+				if c.cfg.Predictor != nil {
+					c.cfg.Predictor.OnEvict(l.pc, l.reused)
+				}
+				if c.cfg.Rinser != nil {
+					c.cfg.Rinser.OnClean(l.tag)
+				}
+				l.valid = false
+				l.dirty = false
+				c.Stats.Invalidates++
+			}
+		}
+	}
+	if len(lines) == 0 {
+		if done != nil {
+			c.sim.Schedule(0, done)
+		}
+		return
+	}
+	remaining := len(lines)
+	for i, la := range lines {
+		la := la
+		c.Stats.Writebacks++
+		wb := &mem.Request{Line: la, Kind: mem.Store, Bypass: true, Done: func() {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		}}
+		// The flush walker emits one writeback per cycle, in tag-walk
+		// (address) order — a row-friendly burst, as in hardware.
+		c.sim.Schedule(event.Cycle(i)+c.cfg.LookupLatency,
+			func() { c.lower.Submit(wb) })
+	}
+}
+
+// DirtyLines returns the number of valid dirty lines (for tests and the
+// harness's sanity checks).
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			l := &c.sets[s][w]
+			if l.valid && l.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ValidLines returns the number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PendingMisses returns the number of outstanding MSHRs (tests).
+func (c *Cache) PendingMisses() int { return len(c.mshrs) }

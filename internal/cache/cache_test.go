@@ -1,0 +1,446 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// fakeMem is a Port that responds to loads after a fixed latency and acks
+// stores after a (possibly different) latency. It records the order in
+// which requests arrive.
+type fakeMem struct {
+	sim      *event.Sim
+	loadLat  event.Cycle
+	storeLat event.Cycle
+	arrived  []*mem.Request
+}
+
+func newFakeMem(sim *event.Sim, lat event.Cycle) *fakeMem {
+	return &fakeMem{sim: sim, loadLat: lat, storeLat: lat}
+}
+
+func (f *fakeMem) Submit(req *mem.Request) {
+	f.arrived = append(f.arrived, req)
+	lat := f.loadLat
+	if req.Kind == mem.Store {
+		lat = f.storeLat
+	}
+	if req.Done != nil {
+		f.sim.Schedule(lat, req.Done)
+	}
+}
+
+func (f *fakeMem) count(k mem.Kind) int {
+	n := 0
+	for _, r := range f.arrived {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func testConfig() Config {
+	return Config{
+		Name: "L1", Sets: 4, Ways: 2,
+		HitLatency: 10, LookupLatency: 2, FillLatency: 2,
+		MSHRs: 8, BypassEntries: 64, PortsPerCycle: 4,
+	}
+}
+
+func run(t *testing.T, sim *event.Sim) {
+	t.Helper()
+	sim.Run()
+}
+
+func load(id uint64, line mem.Addr, done func()) *mem.Request {
+	return &mem.Request{ID: id, Line: line, Kind: mem.Load, Done: done}
+}
+
+func store(id uint64, line mem.Addr, done func()) *mem.Request {
+	return &mem.Request{ID: id, Line: line, Kind: mem.Store, Done: done}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 100)
+	c := New(testConfig(), sim, lower)
+
+	var t1, t2 event.Cycle
+	c.Submit(load(1, 0x1000, func() { t1 = sim.Now() }))
+	run(t, sim)
+	if c.Stats.Misses != 1 || c.Stats.Hits != 0 {
+		t.Fatalf("after cold access: %+v", c.Stats)
+	}
+	if t1 < 100 {
+		t.Fatalf("miss completed at %d, faster than memory latency", t1)
+	}
+
+	base := sim.Now()
+	c.Submit(load(2, 0x1000, func() { t2 = sim.Now() }))
+	run(t, sim)
+	if c.Stats.Hits != 1 {
+		t.Fatalf("expected hit: %+v", c.Stats)
+	}
+	if got := t2 - base; got != 10 {
+		t.Fatalf("hit latency = %d, want 10", got)
+	}
+	if lower.count(mem.Load) != 1 {
+		t.Fatalf("memory saw %d loads, want 1", lower.count(mem.Load))
+	}
+}
+
+func TestMSHRCoalescing(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 100)
+	c := New(testConfig(), sim, lower)
+
+	done := 0
+	for i := 0; i < 5; i++ {
+		c.Submit(load(uint64(i), 0x2000, func() { done++ }))
+	}
+	run(t, sim)
+	if done != 5 {
+		t.Fatalf("completed %d of 5 loads", done)
+	}
+	if lower.count(mem.Load) != 1 {
+		t.Fatalf("memory saw %d loads, want 1 (coalesced)", lower.count(mem.Load))
+	}
+	if c.Stats.Misses != 1 || c.Stats.Coalesced != 4 {
+		t.Fatalf("stats: %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 50)
+	cfg := testConfig()
+	cfg.Sets, cfg.Ways = 1, 2 // tiny: force eviction on 3rd distinct line
+	c := New(cfg, sim, lower)
+
+	lines := []mem.Addr{0x0, 0x40, 0x80}
+	for i, la := range lines {
+		c.Submit(load(uint64(i), la, nil))
+		run(t, sim)
+	}
+	// 0x0 was LRU and must be gone; 0x40, 0x80 resident.
+	c.Submit(load(10, 0x40, nil))
+	run(t, sim)
+	c.Submit(load(11, 0x0, nil))
+	run(t, sim)
+	if c.Stats.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (0x40 resident, 0x0 evicted)", c.Stats.Hits)
+	}
+	if c.Stats.Misses != 4 {
+		t.Fatalf("misses = %d, want 4", c.Stats.Misses)
+	}
+}
+
+func TestBlockingAllocationStalls(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 200)
+	cfg := testConfig()
+	cfg.Sets, cfg.Ways = 1, 2
+	cfg.MSHRs = 8
+	c := New(cfg, sim, lower)
+
+	// Two misses fill both ways with pending fills; the third load to a
+	// different line must stall until a fill completes.
+	var done3 event.Cycle
+	c.Submit(load(1, 0x000, nil))
+	c.Submit(load(2, 0x040, nil))
+	c.Submit(load(3, 0x080, func() { done3 = sim.Now() }))
+	run(t, sim)
+	if c.Stats.Stalls == 0 {
+		t.Fatal("expected allocation stalls")
+	}
+	if done3 < 400 {
+		t.Fatalf("blocked load finished at %d; it cannot start before a fill at ~200", done3)
+	}
+}
+
+func TestAllocationBypassAvoidsStall(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 200)
+	cfg := testConfig()
+	cfg.Sets, cfg.Ways = 1, 2
+	cfg.AllocBypass = true
+	c := New(cfg, sim, lower)
+
+	var done3 event.Cycle
+	c.Submit(load(1, 0x000, nil))
+	c.Submit(load(2, 0x040, nil))
+	c.Submit(load(3, 0x080, func() { done3 = sim.Now() }))
+	run(t, sim)
+	if c.Stats.Stalls != 0 {
+		t.Fatalf("stalls = %d, want 0 with allocation bypass", c.Stats.Stalls)
+	}
+	if c.Stats.AllocBypass != 1 {
+		t.Fatalf("alloc bypasses = %d, want 1", c.Stats.AllocBypass)
+	}
+	if done3 > 250 {
+		t.Fatalf("bypassed load finished at %d; should be ~memory latency", done3)
+	}
+}
+
+func TestStoreBypassWhenNoStoreAllocate(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 50)
+	c := New(testConfig(), sim, lower) // StoreAllocate=false (L1 behaviour)
+
+	acked := false
+	c.Submit(store(1, 0x3000, func() { acked = true }))
+	run(t, sim)
+	if !acked {
+		t.Fatal("store never acked")
+	}
+	if c.Stats.Bypasses != 1 {
+		t.Fatalf("bypasses = %d, want 1", c.Stats.Bypasses)
+	}
+	if lower.count(mem.Store) != 1 {
+		t.Fatal("store did not reach memory")
+	}
+	if c.ValidLines() != 0 {
+		t.Fatal("store must not allocate when StoreAllocate=false")
+	}
+}
+
+func TestStoreCombiningAllocates(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 50)
+	cfg := testConfig()
+	cfg.StoreAllocate = true
+	c := New(cfg, sim, lower) // L2 under CacheRW
+
+	for i := 0; i < 4; i++ {
+		c.Submit(store(uint64(i), 0x4000, nil))
+		run(t, sim)
+	}
+	if lower.count(mem.Store) != 0 {
+		t.Fatalf("memory saw %d stores, want 0 (combined in cache)", lower.count(mem.Store))
+	}
+	if c.DirtyLines() != 1 {
+		t.Fatalf("dirty lines = %d, want 1", c.DirtyLines())
+	}
+	if c.Stats.Hits != 3 || c.Stats.Misses != 1 {
+		t.Fatalf("stats: %+v", c.Stats)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 20)
+	cfg := testConfig()
+	cfg.Sets, cfg.Ways = 1, 1
+	cfg.StoreAllocate = true
+	c := New(cfg, sim, lower)
+
+	c.Submit(store(1, 0x0, nil))
+	run(t, sim)
+	c.Submit(store(2, 0x40, nil)) // evicts dirty 0x0
+	run(t, sim)
+	if lower.count(mem.Store) != 1 {
+		t.Fatalf("memory saw %d stores, want 1 writeback", lower.count(mem.Store))
+	}
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats.Writebacks)
+	}
+}
+
+func TestBypassLoadCoalescing(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 100)
+	c := New(testConfig(), sim, lower)
+
+	done := 0
+	for i := 0; i < 3; i++ {
+		r := load(uint64(i), 0x5000, func() { done++ })
+		r.Bypass = true
+		c.Submit(r)
+	}
+	run(t, sim)
+	if done != 3 {
+		t.Fatalf("completed %d of 3", done)
+	}
+	if lower.count(mem.Load) != 1 {
+		t.Fatalf("memory saw %d loads, want 1 (bypass coalescing)", lower.count(mem.Load))
+	}
+	if c.ValidLines() != 0 {
+		t.Fatal("bypass loads must not allocate")
+	}
+	if c.Stats.Bypasses != 1 || c.Stats.Coalesced != 2 {
+		t.Fatalf("stats: %+v", c.Stats)
+	}
+}
+
+func TestInvalidateCleanDropsCleanKeepsDirty(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	cfg.StoreAllocate = true
+	c := New(cfg, sim, lower)
+
+	c.Submit(load(1, 0x0, nil))
+	c.Submit(store(2, 0x1040, nil))
+	run(t, sim)
+	if c.ValidLines() != 2 {
+		t.Fatalf("valid = %d, want 2", c.ValidLines())
+	}
+	c.InvalidateClean()
+	if c.ValidLines() != 1 || c.DirtyLines() != 1 {
+		t.Fatalf("after invalidate: valid=%d dirty=%d, want 1/1", c.ValidLines(), c.DirtyLines())
+	}
+	if c.Stats.Invalidates != 1 {
+		t.Fatalf("invalidates = %d, want 1", c.Stats.Invalidates)
+	}
+}
+
+func TestFlushDirtyWritesAllAndCompletes(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	cfg.StoreAllocate = true
+	c := New(cfg, sim, lower)
+
+	for i := 0; i < 5; i++ {
+		c.Submit(store(uint64(i), mem.Addr(i*0x40), nil))
+	}
+	run(t, sim)
+	flushed := false
+	c.FlushDirty(func() { flushed = true })
+	run(t, sim)
+	if !flushed {
+		t.Fatal("flush completion never fired")
+	}
+	if lower.count(mem.Store) != 5 {
+		t.Fatalf("memory saw %d stores, want 5", lower.count(mem.Store))
+	}
+	if c.DirtyLines() != 0 || c.ValidLines() != 0 {
+		t.Fatal("flush left resident lines")
+	}
+}
+
+func TestFlushDirtyEmptyCompletesImmediately(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	c := New(testConfig(), sim, lower)
+	flushed := false
+	c.FlushDirty(func() { flushed = true })
+	run(t, sim)
+	if !flushed {
+		t.Fatal("empty flush did not complete")
+	}
+}
+
+func TestPortContentionCountsStalls(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	cfg.PortsPerCycle = 1
+	c := New(cfg, sim, lower)
+
+	// 4 requests in the same cycle through a 1-wide port: 0+1+2+3 stall
+	// cycles in total.
+	for i := 0; i < 4; i++ {
+		c.Submit(load(uint64(i), mem.Addr(0x40*i), nil))
+	}
+	run(t, sim)
+	if c.Stats.Stalls != 6 {
+		t.Fatalf("stalls = %d, want 6", c.Stats.Stalls)
+	}
+}
+
+func TestMSHRLimitStalls(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 100)
+	cfg := testConfig()
+	cfg.MSHRs = 2
+	cfg.Sets, cfg.Ways = 4, 8
+	c := New(cfg, sim, lower)
+
+	done := 0
+	for i := 0; i < 4; i++ {
+		c.Submit(load(uint64(i), mem.Addr(0x40*i), func() { done++ }))
+	}
+	run(t, sim)
+	if done != 4 {
+		t.Fatalf("completed %d of 4", done)
+	}
+	if c.Stats.Stalls == 0 {
+		t.Fatal("expected MSHR stalls")
+	}
+	if c.PendingMisses() != 0 {
+		t.Fatal("MSHRs leaked")
+	}
+}
+
+func TestStoreToPendingLineWaitsForFill(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 100)
+	cfg := testConfig()
+	cfg.StoreAllocate = true
+	c := New(cfg, sim, lower)
+
+	var loadDone, storeDone event.Cycle
+	c.Submit(load(1, 0x6000, func() { loadDone = sim.Now() }))
+	c.Submit(store(2, 0x6000, func() { storeDone = sim.Now() }))
+	run(t, sim)
+	if storeDone < loadDone {
+		t.Fatalf("store (%d) completed before the pending load fill (%d)", storeDone, loadDone)
+	}
+	if c.DirtyLines() != 1 {
+		t.Fatal("store must leave the line dirty")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 1)
+	bad := []Config{
+		{Name: "a", Sets: 3, Ways: 1, MSHRs: 1, BypassEntries: 1, PortsPerCycle: 1},
+		{Name: "b", Sets: 4, Ways: 0, MSHRs: 1, BypassEntries: 1, PortsPerCycle: 1},
+		{Name: "c", Sets: 4, Ways: 1, MSHRs: 0, BypassEntries: 1, PortsPerCycle: 1},
+		{Name: "d", Sets: 4, Ways: 1, MSHRs: 1, BypassEntries: 0, PortsPerCycle: 1},
+		{Name: "e", Sets: 4, Ways: 1, MSHRs: 1, BypassEntries: 1, PortsPerCycle: 0},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %s: expected panic", cfg.Name)
+				}
+			}()
+			New(cfg, sim, lower)
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() (uint64, uint64, uint64) {
+		sim := event.New()
+		lower := newFakeMem(sim, 37)
+		cfg := testConfig()
+		cfg.StoreAllocate = true
+		c := New(cfg, sim, lower)
+		for i := 0; i < 200; i++ {
+			la := mem.Addr((i * 7 % 32) * 64)
+			if i%3 == 0 {
+				c.Submit(store(uint64(i), la, nil))
+			} else {
+				c.Submit(load(uint64(i), la, nil))
+			}
+			if i%10 == 9 {
+				sim.RunUntil(sim.Now() + 5)
+			}
+		}
+		sim.Run()
+		return c.Stats.Hits, c.Stats.Misses, c.Stats.Stalls
+	}
+	h1, m1, s1 := runOnce()
+	h2, m2, s2 := runOnce()
+	if h1 != h2 || m1 != m2 || s1 != s2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", h1, m1, s1, h2, m2, s2)
+	}
+}

@@ -1,0 +1,272 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// recordingPredictor counts training callbacks and bypasses on demand.
+type recordingPredictor struct {
+	bypass  bool
+	hits    int
+	evicts  int
+	reused  int
+	queries int
+}
+
+func (p *recordingPredictor) ShouldBypass(pc uint64, k mem.Kind) bool {
+	p.queries++
+	return p.bypass
+}
+func (p *recordingPredictor) OnHit(pc uint64) { p.hits++ }
+func (p *recordingPredictor) OnEvict(pc uint64, reused bool) {
+	p.evicts++
+	if reused {
+		p.reused++
+	}
+}
+
+// rowRinser groups 4 lines (256 B) per row, like a tiny DRAM row.
+type testRinser struct {
+	dirty map[mem.Addr]bool
+}
+
+func newTestRinser() *testRinser { return &testRinser{dirty: map[mem.Addr]bool{}} }
+
+func (r *testRinser) row(a mem.Addr) uint64 { return uint64(a) >> 8 }
+func (r *testRinser) OnDirty(line mem.Addr) { r.dirty[line] = true }
+func (r *testRinser) OnClean(line mem.Addr) { delete(r.dirty, line) }
+func (r *testRinser) RowMates(line mem.Addr) []mem.Addr {
+	var out []mem.Addr
+	for l := range r.dirty {
+		if l != line && r.row(l) == r.row(line) {
+			out = append(out, l)
+		}
+	}
+	// Deterministic order for the test.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestPredictorBypassSkipsAllocation(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 50)
+	cfg := testConfig()
+	pred := &recordingPredictor{bypass: true}
+	cfg.Predictor = pred
+	c := New(cfg, sim, lower)
+
+	c.Submit(load(1, 0x1000, nil))
+	sim.Run()
+	if c.ValidLines() != 0 {
+		t.Fatal("predicted-bypass load allocated")
+	}
+	if c.Stats.PredBypass != 1 {
+		t.Fatalf("PredBypass = %d", c.Stats.PredBypass)
+	}
+	if pred.queries != 1 {
+		t.Fatalf("queries = %d", pred.queries)
+	}
+}
+
+func TestPredictorSamplingCachesPeriodically(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 50)
+	cfg := testConfig()
+	pred := &recordingPredictor{bypass: true}
+	cfg.Predictor = pred
+	cfg.PredictorSampleEvery = 4
+	c := New(cfg, sim, lower)
+
+	for i := 0; i < 8; i++ {
+		c.Submit(load(uint64(i), mem.Addr(0x40*i), nil))
+		sim.Run()
+	}
+	// Every 4th predicted-bypass samples into the cache: 2 allocations.
+	if c.ValidLines() != 2 {
+		t.Fatalf("valid lines = %d, want 2 sampled", c.ValidLines())
+	}
+	if c.Stats.PredBypass != 6 {
+		t.Fatalf("PredBypass = %d, want 6", c.Stats.PredBypass)
+	}
+}
+
+func TestPredictorTrainingOnHitAndEvict(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 20)
+	cfg := testConfig()
+	cfg.Sets, cfg.Ways = 1, 1
+	pred := &recordingPredictor{}
+	cfg.Predictor = pred
+	c := New(cfg, sim, lower)
+
+	c.Submit(load(1, 0x0, nil)) // allocate
+	sim.Run()
+	c.Submit(load(2, 0x0, nil)) // hit → OnHit
+	sim.Run()
+	c.Submit(load(3, 0x40, nil)) // evict reused line → OnEvict(reused)
+	sim.Run()
+	c.Submit(load(4, 0x80, nil)) // evict unreused line → OnEvict(!reused)
+	sim.Run()
+	if pred.hits != 1 {
+		t.Fatalf("OnHit calls = %d, want 1", pred.hits)
+	}
+	if pred.evicts != 2 || pred.reused != 1 {
+		t.Fatalf("evicts = %d (reused %d), want 2 (1)", pred.evicts, pred.reused)
+	}
+}
+
+func TestRinserWritesBackRowMates(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	// 4 sets: lines 0x0, 0x40, 0x80 land in different sets but the
+	// same 256B "row". Make ways=1 so a conflicting store evicts.
+	cfg.Sets, cfg.Ways = 4, 1
+	cfg.StoreAllocate = true
+	r := newTestRinser()
+	cfg.Rinser = r
+	c := New(cfg, sim, lower)
+
+	// Dirty three lines of row 0 (different sets → no eviction yet).
+	for _, la := range []mem.Addr{0x0, 0x40, 0x80} {
+		c.Submit(store(uint64(la), la, nil))
+		sim.Run()
+	}
+	// Evict the dirty line in set 0 with a store to 0x400 (set 0, row 4).
+	c.Submit(store(99, 0x400, nil))
+	sim.Run()
+	// The eviction writes back 0x0 and rinses 0x40 and 0x80.
+	if c.Stats.Rinses != 2 {
+		t.Fatalf("rinses = %d, want 2", c.Stats.Rinses)
+	}
+	if got := lower.count(mem.Store); got != 3 {
+		t.Fatalf("memory stores = %d, want 3 (1 eviction + 2 rinses)", got)
+	}
+	// Rinsed lines stay valid but clean.
+	if c.DirtyLines() != 1 { // only the new 0x400
+		t.Fatalf("dirty lines = %d, want 1", c.DirtyLines())
+	}
+	if c.ValidLines() != 3 { // 0x40, 0x80 (clean) + 0x400 (dirty)
+		t.Fatalf("valid lines = %d, want 3", c.ValidLines())
+	}
+}
+
+func TestRinsedLinesStillHit(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	cfg.Sets, cfg.Ways = 4, 1
+	cfg.StoreAllocate = true
+	cfg.Rinser = newTestRinser()
+	c := New(cfg, sim, lower)
+
+	c.Submit(store(1, 0x0, nil))
+	c.Submit(store(2, 0x40, nil))
+	sim.Run()
+	c.Submit(store(3, 0x400, nil)) // evict 0x0, rinse 0x40
+	sim.Run()
+	hits := c.Stats.Hits
+	c.Submit(load(4, 0x40, nil))
+	sim.Run()
+	if c.Stats.Hits != hits+1 {
+		t.Fatal("rinsed line no longer hits")
+	}
+}
+
+func TestFlushInformsRinser(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	cfg.StoreAllocate = true
+	r := newTestRinser()
+	cfg.Rinser = r
+	c := New(cfg, sim, lower)
+
+	c.Submit(store(1, 0x0, nil))
+	c.Submit(store(2, 0x40, nil))
+	sim.Run()
+	if len(r.dirty) != 2 {
+		t.Fatalf("rinser tracks %d lines, want 2", len(r.dirty))
+	}
+	c.FlushDirty(nil)
+	sim.Run()
+	if len(r.dirty) != 0 {
+		t.Fatalf("rinser still tracks %d lines after flush", len(r.dirty))
+	}
+}
+
+func TestBankedRouting(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	cfg.Sets = 4
+	b := NewBanked(cfg, 4, sim, lower)
+
+	// Lines 0..15 spread: bank = (lineNum/4)%4.
+	for i := 0; i < 32; i++ {
+		b.Submit(load(uint64(i), mem.Addr(i*64), nil))
+	}
+	sim.Run()
+	total := 0
+	for _, bank := range b.Banks() {
+		total += int(bank.Stats.Misses)
+		if bank.Stats.Misses == 0 {
+			t.Fatal("a bank received no traffic")
+		}
+	}
+	if total != 32 {
+		t.Fatalf("total misses = %d, want 32", total)
+	}
+	if b.Stats().Misses != 32 {
+		t.Fatalf("aggregated misses = %d", b.Stats().Misses)
+	}
+}
+
+func TestBankedFlushAndInvalidate(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	cfg := testConfig()
+	cfg.Sets = 4
+	cfg.StoreAllocate = true
+	b := NewBanked(cfg, 2, sim, lower)
+
+	for i := 0; i < 8; i++ {
+		b.Submit(store(uint64(i), mem.Addr(i*64), nil))
+	}
+	b.Submit(load(100, 0x4000, nil))
+	sim.Run()
+	if b.DirtyLines() != 8 {
+		t.Fatalf("dirty = %d", b.DirtyLines())
+	}
+	b.InvalidateClean()
+	if b.DirtyLines() != 8 || b.ValidLines() != 8 {
+		t.Fatal("invalidate touched dirty lines or kept clean ones")
+	}
+	done := false
+	b.FlushDirty(func() { done = true })
+	sim.Run()
+	if !done || b.DirtyLines() != 0 {
+		t.Fatal("banked flush incomplete")
+	}
+	if lower.count(mem.Store) != 8 {
+		t.Fatalf("stores at memory = %d, want 8", lower.count(mem.Store))
+	}
+}
+
+func TestBankedBadCountPanics(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bank count 3 accepted")
+		}
+	}()
+	NewBanked(testConfig(), 3, sim, lower)
+}

@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// TestRandomTrafficInvariants drives pseudo-random request streams
+// through an L1→L2→memory stack under many configurations and checks the
+// liveness and conservation invariants the simulator depends on:
+// every request completes, accounting identities hold, and no dirty data
+// survives a final flush.
+func TestRandomTrafficInvariants(t *testing.T) {
+	configs := []struct {
+		name              string
+		l1Sets, l1Ways    int
+		l1MSHRs, l1Byp    int
+		l2Store, allocByp bool
+	}{
+		{"tiny-blocking", 2, 2, 2, 2, true, false},
+		{"tiny-ab", 2, 2, 2, 2, true, true},
+		{"mshr-starved", 8, 4, 1, 1, true, false},
+		{"store-through", 4, 4, 4, 4, false, false},
+		{"roomy", 16, 16, 32, 64, true, true},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			sim := event.New()
+			memPort := &fakeMem{sim: sim, loadLat: 80, storeLat: 40}
+			l2 := New(Config{
+				Name: "L2", Sets: 16, Ways: 4,
+				HitLatency: 20, LookupLatency: 2, FillLatency: 2,
+				MSHRs: 8, BypassEntries: 16, PortsPerCycle: 1,
+				StoreAllocate: tc.l2Store, AllocBypass: tc.allocByp,
+			}, sim, memPort)
+			l1 := New(Config{
+				Name: "L1", Sets: tc.l1Sets, Ways: tc.l1Ways,
+				HitLatency: 5, LookupLatency: 1, FillLatency: 1,
+				MSHRs: tc.l1MSHRs, BypassEntries: tc.l1Byp,
+				PortsPerCycle: 1, AllocBypass: tc.allocByp,
+			}, sim, l2)
+
+			const total = 3000
+			done := 0
+			issued := 0
+			var pump func()
+			pump = func() {
+				for burst := 0; burst < 8 && issued < total; burst++ {
+					kind := mem.Load
+					if rng.Intn(3) == 0 {
+						kind = mem.Store
+					}
+					line := mem.Addr(rng.Intn(64) * 64)
+					r := &mem.Request{
+						ID: uint64(issued), Line: line, Kind: kind,
+						Bypass: rng.Intn(8) == 0,
+						Done:   func() { done++ },
+					}
+					issued++
+					l1.Submit(r)
+				}
+				if issued < total {
+					sim.Schedule(event.Cycle(rng.Intn(20)+1), pump)
+				}
+			}
+			sim.Schedule(0, pump)
+			sim.Run()
+			if done != total {
+				t.Fatalf("completed %d of %d requests (deadlock)", done, total)
+			}
+			if l1.PendingMisses() != 0 || l2.PendingMisses() != 0 {
+				t.Fatal("MSHRs leaked")
+			}
+			// L1 accounting covers every submitted request.
+			acc := l1.Stats.Accesses()
+			if acc < total {
+				t.Fatalf("L1 accounted %d of %d requests", acc, total)
+			}
+			// Stall attribution sums to the total.
+			s := l1.Stats
+			if s.StallPort+s.StallAlloc+s.StallMSHR+s.StallBypass+s.StallLine != s.Stalls {
+				t.Fatalf("stall attribution does not sum: %+v", s)
+			}
+			// Flush leaves nothing dirty and completes.
+			flushed := false
+			l2.FlushDirty(func() { flushed = true })
+			l1.FlushDirty(nil)
+			sim.Run()
+			if !flushed {
+				t.Fatal("flush did not complete")
+			}
+			if l2.DirtyLines() != 0 {
+				t.Fatal("dirty lines survived flush")
+			}
+			// Self-invalidation afterwards empties the caches.
+			l1.InvalidateClean()
+			l2.InvalidateClean()
+			if l1.ValidLines() != 0 || l2.ValidLines() != 0 {
+				t.Fatal("lines survived flush+invalidate")
+			}
+		})
+	}
+}
+
+// TestRandomTrafficDeterminism re-runs an identical random schedule and
+// requires identical statistics.
+func TestRandomTrafficDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, uint64, event.Cycle) {
+		rng := rand.New(rand.NewSource(7))
+		sim := event.New()
+		memPort := &fakeMem{sim: sim, loadLat: 60, storeLat: 30}
+		l2 := New(Config{Name: "L2", Sets: 8, Ways: 4, HitLatency: 20,
+			LookupLatency: 2, FillLatency: 2, MSHRs: 4, BypassEntries: 8,
+			PortsPerCycle: 1, StoreAllocate: true}, sim, memPort)
+		l1 := New(Config{Name: "L1", Sets: 4, Ways: 2, HitLatency: 5,
+			LookupLatency: 1, FillLatency: 1, MSHRs: 4, BypassEntries: 8,
+			PortsPerCycle: 1}, sim, l2)
+		for i := 0; i < 1000; i++ {
+			kind := mem.Load
+			if rng.Intn(2) == 0 {
+				kind = mem.Store
+			}
+			r := &mem.Request{ID: uint64(i), Line: mem.Addr(rng.Intn(32) * 64), Kind: kind}
+			at := event.Cycle(rng.Intn(500))
+			sim.At(max(at, sim.Now()), func() { l1.Submit(r) })
+		}
+		sim.Run()
+		return l1.Stats.Hits, l1.Stats.Stalls, l2.Stats.Writebacks, sim.Now()
+	}
+	h1, s1, w1, c1 := run()
+	h2, s2, w2, c2 := run()
+	if h1 != h2 || s1 != s2 || w1 != w2 || c1 != c2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			h1, s1, w1, c1, h2, s2, w2, c2)
+	}
+}
+
+func max(a, b event.Cycle) event.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

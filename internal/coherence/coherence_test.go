@@ -1,0 +1,237 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+type fakeMem struct {
+	sim     *event.Sim
+	lat     event.Cycle
+	arrived []*mem.Request
+}
+
+func (f *fakeMem) Submit(req *mem.Request) {
+	f.arrived = append(f.arrived, req)
+	if req.Done != nil {
+		f.sim.Schedule(f.lat, req.Done)
+	}
+}
+
+func (f *fakeMem) count(k mem.Kind) int {
+	n := 0
+	for _, r := range f.arrived {
+		if r.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// stack builds a 1-CU hierarchy: L1 → L2 (1 bank) → directory → fakeMem.
+func stack(p Policy) (*Engine, *cache.Cache, *cache.Banked, *fakeMem, *event.Sim) {
+	sim := event.New()
+	memPort := &fakeMem{sim: sim, lat: 60}
+	dir := NewDirectory(sim, memPort, 10)
+	l2 := cache.NewBanked(cache.Config{
+		Name: "L2", Sets: 16, Ways: 4,
+		HitLatency: 30, LookupLatency: 2, FillLatency: 2,
+		MSHRs: 16, BypassEntries: 64, PortsPerCycle: 2,
+		StoreAllocate: p.CombinesStores(),
+	}, 1, sim, dir)
+	l1 := cache.New(cache.Config{
+		Name: "L1", Sets: 4, Ways: 4,
+		HitLatency: 10, LookupLatency: 2, FillLatency: 2,
+		MSHRs: 8, BypassEntries: 64, PortsPerCycle: 2,
+	}, sim, l2)
+	eng := &Engine{PolicyKind: p, L1s: []*cache.Cache{l1}, L2: l2, Sim: sim, SyncLatency: 20}
+	return eng, l1, l2, memPort, sim
+}
+
+func submit(eng *Engine, l1 *cache.Cache, kind mem.Kind, line mem.Addr, done func()) {
+	r := &mem.Request{Line: line, Kind: kind, Done: done}
+	eng.Decorate(r)
+	l1.Submit(r)
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if Uncached.String() != "Uncached" || CacheR.String() != "CacheR" || CacheRW.String() != "CacheRW" {
+		t.Fatal("bad strings")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy should format")
+	}
+	for _, name := range []string{"Uncached", "CacheR", "CacheRW", "uncached", "cacher", "cacherw"} {
+		if _, err := ParsePolicy(name); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestUncachedAllocatesNothing(t *testing.T) {
+	eng, l1, l2, fm, sim := stack(Uncached)
+	done := 0
+	submit(eng, l1, mem.Load, 0x1000, func() { done++ })
+	submit(eng, l1, mem.Store, 0x2000, func() { done++ })
+	sim.Run()
+	// Repeat the load: must go to memory again.
+	submit(eng, l1, mem.Load, 0x1000, func() { done++ })
+	sim.Run()
+	if done != 3 {
+		t.Fatalf("done = %d", done)
+	}
+	if l1.ValidLines() != 0 || l2.ValidLines() != 0 {
+		t.Fatal("Uncached must not allocate")
+	}
+	if fm.count(mem.Load) != 2 || fm.count(mem.Store) != 1 {
+		t.Fatalf("memory traffic loads=%d stores=%d", fm.count(mem.Load), fm.count(mem.Store))
+	}
+}
+
+func TestCacheRCachesLoadsStoresPassThrough(t *testing.T) {
+	eng, l1, l2, fm, sim := stack(CacheR)
+	submit(eng, l1, mem.Load, 0x1000, nil)
+	sim.Run()
+	submit(eng, l1, mem.Load, 0x1000, nil) // L1 hit
+	sim.Run()
+	if fm.count(mem.Load) != 1 {
+		t.Fatalf("memory loads = %d, want 1 (second was a hit)", fm.count(mem.Load))
+	}
+	if l1.Stats.Hits != 1 {
+		t.Fatalf("L1 hits = %d", l1.Stats.Hits)
+	}
+	submit(eng, l1, mem.Store, 0x3000, nil)
+	sim.Run()
+	if fm.count(mem.Store) != 1 {
+		t.Fatal("store must reach memory under CacheR")
+	}
+	if l2.DirtyLines() != 0 {
+		t.Fatal("CacheR must not hold dirty data")
+	}
+}
+
+func TestCacheRWCombinesStores(t *testing.T) {
+	eng, l1, l2, fm, sim := stack(CacheRW)
+	for i := 0; i < 4; i++ {
+		submit(eng, l1, mem.Store, 0x4000, nil)
+		sim.Run()
+	}
+	if fm.count(mem.Store) != 0 {
+		t.Fatalf("memory stores = %d, want 0 (combined at L2)", fm.count(mem.Store))
+	}
+	if l2.DirtyLines() != 1 {
+		t.Fatalf("L2 dirty lines = %d, want 1", l2.DirtyLines())
+	}
+	if l1.ValidLines() != 0 {
+		t.Fatal("stores must bypass L1 under CacheRW")
+	}
+}
+
+func TestStoreThenLoadHitsDirtyL2(t *testing.T) {
+	eng, l1, _, fm, sim := stack(CacheRW)
+	submit(eng, l1, mem.Store, 0x5000, nil)
+	sim.Run()
+	submit(eng, l1, mem.Load, 0x5000, nil)
+	sim.Run()
+	if fm.count(mem.Load) != 0 {
+		t.Fatal("load of combined store data must hit in L2")
+	}
+}
+
+func TestKernelBoundaryInvalidatesClean(t *testing.T) {
+	eng, l1, l2, _, sim := stack(CacheRW)
+	submit(eng, l1, mem.Load, 0x1000, nil)
+	submit(eng, l1, mem.Store, 0x2000, nil)
+	sim.Run()
+	resumed := false
+	eng.KernelBoundary(nil, func() { resumed = true })
+	sim.Run()
+	if !resumed {
+		t.Fatal("boundary did not resume")
+	}
+	if l1.ValidLines() != 0 {
+		t.Fatal("L1 clean data must self-invalidate at kernel boundary")
+	}
+	// Dirty combined store survives a non-system-scope boundary.
+	if l2.DirtyLines() != 1 {
+		t.Fatalf("L2 dirty lines = %d, want 1 after GPU-scope boundary", l2.DirtyLines())
+	}
+	if eng.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", eng.Invalidations)
+	}
+}
+
+func TestFinishFlushesDirty(t *testing.T) {
+	eng, l1, l2, fm, sim := stack(CacheRW)
+	submit(eng, l1, mem.Store, 0x6000, nil)
+	submit(eng, l1, mem.Store, 0x7000, nil)
+	sim.Run()
+	finished := false
+	eng.Finish(func() { finished = true })
+	sim.Run()
+	if !finished {
+		t.Fatal("finish did not complete")
+	}
+	if fm.count(mem.Store) != 2 {
+		t.Fatalf("memory stores = %d, want 2 after flush", fm.count(mem.Store))
+	}
+	if l2.DirtyLines() != 0 {
+		t.Fatal("flush left dirty lines")
+	}
+	if eng.Flushes != 1 {
+		t.Fatalf("flushes = %d", eng.Flushes)
+	}
+}
+
+func TestUncachedBoundaryIsCheap(t *testing.T) {
+	eng, _, _, _, sim := stack(Uncached)
+	resumed := false
+	eng.KernelBoundary(nil, func() { resumed = true })
+	sim.Run()
+	if !resumed {
+		t.Fatal("boundary did not resume")
+	}
+	if eng.Invalidations != 0 || eng.Flushes != 0 {
+		t.Fatal("Uncached must not invalidate or flush")
+	}
+}
+
+func TestDirectoryAddsLatencyAndCounts(t *testing.T) {
+	sim := event.New()
+	fm := &fakeMem{sim: sim, lat: 0}
+	dir := NewDirectory(sim, fm, 25)
+	var at event.Cycle
+	dir.Submit(&mem.Request{Line: 0, Kind: mem.Load, Done: func() { at = sim.Now() }})
+	sim.Run()
+	if at != 25 {
+		t.Fatalf("directory latency = %d, want 25", at)
+	}
+	if dir.Requests != 1 {
+		t.Fatalf("requests = %d", dir.Requests)
+	}
+}
+
+func TestDirectoryZeroLatencyForwardsInline(t *testing.T) {
+	sim := event.New()
+	fm := &fakeMem{sim: sim, lat: 0}
+	dir := NewDirectory(sim, fm, 0)
+	dir.Submit(&mem.Request{Line: 0, Kind: mem.Load})
+	if len(fm.arrived) != 1 {
+		t.Fatal("zero-latency directory must forward synchronously")
+	}
+}
+
+func TestPolicyPredicates(t *testing.T) {
+	if Uncached.CachesLoads() || !CacheR.CachesLoads() || !CacheRW.CachesLoads() {
+		t.Fatal("CachesLoads wrong")
+	}
+	if Uncached.CombinesStores() || CacheR.CombinesStores() || !CacheRW.CombinesStores() {
+		t.Fatal("CombinesStores wrong")
+	}
+}

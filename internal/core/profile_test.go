@@ -1,0 +1,85 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestProfileRun exists for manual performance investigation:
+//
+//	MICACHE_PROFILE=FwAct:Uncached:0.3 go test ./internal/core \
+//	    -run TestProfileRun -cpuprofile cpu.out -v
+func TestProfileRun(t *testing.T) {
+	env := os.Getenv("MICACHE_PROFILE")
+	if env == "" {
+		t.Skip("set MICACHE_PROFILE=workload:variant:scale to run")
+	}
+	var name, label string
+	var scale float64
+	n, err := parseProfileEnv(env, &name, &label, &scale)
+	if err != nil || n != 3 {
+		t.Fatalf("MICACHE_PROFILE=%q: want workload:variant:scale", env)
+	}
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(DefaultConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spec.Build(workloads.Scale(scale))
+	snap := sys.Run(w)
+	t.Logf("%s/%s: %s", name, label, snap.String())
+	t.Logf("events fired=%d peak queue=%d", sys.Sim.Fired(), sys.Sim.MaxQueueLen())
+}
+
+func parseProfileEnv(env string, name, label *string, scale *float64) (int, error) {
+	parts := [3]string{}
+	i := 0
+	for _, r := range env {
+		if r == ':' {
+			i++
+			if i > 2 {
+				break
+			}
+			continue
+		}
+		parts[i] += string(r)
+	}
+	*name, *label = parts[0], parts[1]
+	var err error
+	*scale, err = parseFloat(parts[2])
+	if err != nil {
+		return 0, err
+	}
+	return i + 1, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	var v float64
+	var frac float64 = 0.1
+	seenDot := false
+	for _, r := range s {
+		switch {
+		case r == '.':
+			seenDot = true
+		case r >= '0' && r <= '9':
+			if seenDot {
+				v += float64(r-'0') * frac
+				frac /= 10
+			} else {
+				v = v*10 + float64(r-'0')
+			}
+		default:
+			return 0, os.ErrInvalid
+		}
+	}
+	return v, nil
+}

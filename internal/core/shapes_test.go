@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestPaperShapes checks the paper's qualitative claims end to end on a
+// representative workload subset (one per class plus the write-combining
+// and optimization stories). It runs a mid-size configuration and is
+// skipped under -short.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test is a multi-simulation run")
+	}
+	// Half-size GPU at full cache geometry: big enough that the
+	// footprint regimes and contention effects match the full machine.
+	cfg := DefaultConfig()
+	cfg.GPU.CUs = 32
+	const scale = workloads.Scale(0.5)
+
+	names := []string{"SGEMM", "FwSoft", "FwFc", "BwPool", "FwAct"}
+	specs := make([]workloads.Spec, len(names))
+	for i, n := range names {
+		s, err := workloads.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = s
+	}
+	rs, err := RunMatrix(cfg, AllVariants(), specs, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatrix(rs)
+	cycles := func(wl, v string) float64 { return float64(m.MustGet(wl, v).Snap.Cycles) }
+
+	// Section VI.A: memory-insensitive class — SGEMM within 5%.
+	base := cycles("SGEMM", "Uncached")
+	for _, v := range []string{"CacheR", "CacheRW"} {
+		if r := cycles("SGEMM", v) / base; r < 0.93 || r > 1.07 {
+			t.Errorf("SGEMM %s/Uncached = %.3f, want ≈1 (insensitive)", v, r)
+		}
+	}
+
+	// Reuse-sensitive: FwSoft improves with read caching; FwFc at
+	// minimum must not lose (its headline win is the DRAM-demand cut
+	// checked below, which holds at any scale).
+	if r := cycles("FwSoft", "CacheR") / cycles("FwSoft", "Uncached"); r >= 1.0 {
+		t.Errorf("FwSoft CacheR/Uncached = %.3f, want <1 (reuse sensitive)", r)
+	}
+	if r := cycles("FwFc", "CacheR") / cycles("FwFc", "Uncached"); r > 1.05 {
+		t.Errorf("FwFc CacheR/Uncached = %.3f, want ≤1", r)
+	}
+
+	// Write combining helps the store-dominated backward pool.
+	if r := cycles("BwPool", "CacheRW") / cycles("BwPool", "CacheR"); r >= 1.0 {
+		t.Errorf("BwPool CacheRW/CacheR = %.3f, want <1 (write combining)", r)
+	}
+
+	// Throughput-sensitive: caching hurts FwAct.
+	if r := cycles("FwAct", "CacheR") / cycles("FwAct", "Uncached"); r <= 1.0 {
+		t.Errorf("FwAct CacheR/Uncached = %.3f, want >1 (throughput sensitive)", r)
+	}
+
+	// Section VI.C: caching raises FwAct stalls by orders of magnitude
+	// and lowers its DRAM row hit rate.
+	un := m.MustGet("FwAct", "Uncached").Snap
+	rw := m.MustGet("FwAct", "CacheRW").Snap
+	if rw.StallsPerRequest() < 10*un.StallsPerRequest() {
+		t.Errorf("FwAct stalls: cached %.2f vs uncached %.2f, want ≫",
+			rw.StallsPerRequest(), un.StallsPerRequest())
+	}
+	if rw.DRAM.RowHitRate() >= un.DRAM.RowHitRate() {
+		t.Errorf("FwAct row hits: cached %.2f vs uncached %.2f, want lower",
+			rw.DRAM.RowHitRate(), un.DRAM.RowHitRate())
+	}
+
+	// Section VII: the full optimization stack is near the static best
+	// for every tested workload (within 25% at this reduced scale; the
+	// paper's full-scale margin is tighter).
+	for _, wl := range names {
+		_, best := m.StaticBest(wl)
+		opt := cycles(wl, "CacheRW-PCby") / float64(best.Snap.Cycles)
+		if opt > 1.25 {
+			t.Errorf("%s CacheRW-PCby/StaticBest = %.3f, want ≈1", wl, opt)
+		}
+	}
+
+	// Figure 7: read caching cuts FwFc DRAM demand by more than half.
+	fcU := m.MustGet("FwFc", "Uncached").Snap.DRAM.Accesses()
+	fcR := m.MustGet("FwFc", "CacheR").Snap.DRAM.Accesses()
+	if float64(fcR) > 0.5*float64(fcU) {
+		t.Errorf("FwFc CacheR demand = %.1f%% of Uncached, want <50%%",
+			100*float64(fcR)/float64(fcU))
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+const testScale = workloads.Scale(0.05)
+
+// testConfig shrinks the GPU and L2 so unit tests run fast while keeping
+// the footprint-to-capacity relationships of the full system (test-scale
+// workloads still exceed the shrunken L2 the way full-scale ones exceed
+// 4 MB).
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.GPU.CUs = 8
+	cfg.L2.SizeBytes = 256 << 10
+	return cfg
+}
+
+func TestSmokeAllVariantsTinyWorkload(t *testing.T) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range AllVariants() {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			r, err := RunOne(testConfig(), v, spec, testScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Snap.Cycles == 0 || r.Snap.GPUMemRequests == 0 {
+				t.Fatalf("empty snapshot: %+v", r.Snap)
+			}
+		})
+	}
+}
+
+func TestSmokeStreamingWorkload(t *testing.T) {
+	spec, err := workloads.ByName("FwAct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range StaticVariants() {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			r, err := RunOne(testConfig(), v, spec, testScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %s", v.Label, r.Snap.String())
+			if r.Snap.DRAM.Accesses() == 0 {
+				t.Fatal("no DRAM traffic")
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/dram"
+	"repro/internal/event"
+	"repro/internal/gpu"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// System is one fully wired simulated APU instance. Build one per run:
+// caches and predictors carry state between workloads, and experiments
+// must start cold to be comparable.
+type System struct {
+	Cfg     Config
+	Variant Variant
+
+	Sim       *event.Sim
+	GPU       *gpu.GPU
+	L1s       []*cache.Cache
+	L2        *cache.Banked
+	DRAM      *dram.Controller
+	Directory *coherence.Directory
+	Engine    *coherence.Engine
+	Predictor *policy.PCPredictor
+	Rinser    *policy.RowRinser
+}
+
+// NewSystem wires a system for one configuration variant. Invalid
+// configuration returns an error (it usually comes from user input);
+// internal wiring errors panic.
+func NewSystem(cfg Config, v Variant) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := event.New()
+	dctl := dram.New(cfg.DRAM, sim)
+	dir := coherence.NewDirectory(sim, dctl, cfg.DirectoryLatency)
+
+	pred := policy.NewPCPredictor(cfg.Predictor)
+	dcfg := cfg.DRAM
+	rinse := policy.NewRowRinser(dcfg.RowID, cfg.RinserRows)
+
+	l2 := buildL2(&cfg, v, sim, dir, pred, rinse)
+
+	l1s := make([]*cache.Cache, cfg.GPU.CUs)
+	ports := make([]cache.Port, cfg.GPU.CUs)
+	for i := range l1s {
+		l1s[i] = buildL1(&cfg, v, i, sim, l2)
+		ports[i] = l1s[i]
+	}
+
+	g := gpu.New(cfg.GPU, sim, ports)
+	eng := &coherence.Engine{
+		PolicyKind:  v.Policy,
+		L1s:         l1s,
+		L2:          l2,
+		Sim:         sim,
+		SyncLatency: cfg.SyncLatency,
+	}
+	g.Decorate = eng.Decorate
+	g.OnKernelDone = eng.KernelBoundary
+
+	return &System{
+		Cfg: cfg, Variant: v,
+		Sim: sim, GPU: g, L1s: l1s, L2: l2,
+		DRAM: dctl, Directory: dir, Engine: eng,
+		Predictor: pred, Rinser: rinse,
+	}, nil
+}
+
+// Run executes a built workload to completion (including the final
+// system-scope flush) and returns the run's statistics.
+func (s *System) Run(w workloads.Workload) stats.Snapshot {
+	finished := false
+	s.GPU.RunWorkload(w.Kernels, func() {
+		s.Engine.Finish(func() { finished = true })
+	})
+	s.Sim.Run()
+	if !finished {
+		panic(fmt.Sprintf("core: %s/%s did not finish (deadlock: %d events fired)",
+			s.Variant.Label, "workload", s.Sim.Fired()))
+	}
+	return s.Snapshot(w)
+}
+
+// Snapshot assembles the statistics of the run so far.
+func (s *System) Snapshot(w workloads.Workload) stats.Snapshot {
+	snap := stats.Snapshot{
+		Cycles:         uint64(s.Sim.Now()),
+		VectorOps:      s.GPU.Stats.VectorOps,
+		GPUMemRequests: s.GPU.Stats.MemRequests,
+		DRAM:           s.DRAM.Stats,
+		Kernels:        s.GPU.Stats.KernelsRun,
+		FootprintBytes: w.FootprintBytes,
+	}
+	for _, l1 := range s.L1s {
+		snap.L1.Add(l1.Stats)
+	}
+	snap.L2 = s.L2.Stats()
+	return snap
+}
+
+// Result is one (workload, variant) measurement.
+type Result struct {
+	Workload string
+	Class    workloads.Class
+	Variant  string
+	Snap     stats.Snapshot
+}
+
+// RunOne builds a fresh system and runs one workload under one variant.
+func RunOne(cfg Config, v Variant, spec workloads.Spec, scale workloads.Scale) (Result, error) {
+	sys, err := NewSystem(cfg, v)
+	if err != nil {
+		return Result{}, err
+	}
+	w := spec.Build(scale)
+	snap := sys.Run(w)
+	return Result{Workload: spec.Name, Class: spec.Class, Variant: v.Label, Snap: snap}, nil
+}
+
+// RunMatrix runs every (spec × variant) combination on cold systems,
+// in order. It is the data source for every figure.
+func RunMatrix(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads.Scale) ([]Result, error) {
+	out := make([]Result, 0, len(vs)*len(specs))
+	for _, spec := range specs {
+		for _, v := range vs {
+			r, err := RunOne(cfg, v, spec, scale)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s under %s: %w", spec.Name, v.Label, err)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Matrix indexes results by workload and variant.
+type Matrix struct {
+	results map[string]map[string]Result
+	order   []string
+}
+
+// NewMatrix indexes a result list.
+func NewMatrix(rs []Result) *Matrix {
+	m := &Matrix{results: make(map[string]map[string]Result)}
+	for _, r := range rs {
+		byVar, ok := m.results[r.Workload]
+		if !ok {
+			byVar = make(map[string]Result)
+			m.results[r.Workload] = byVar
+			m.order = append(m.order, r.Workload)
+		}
+		byVar[r.Variant] = r
+	}
+	return m
+}
+
+// Workloads returns workload names in insertion order.
+func (m *Matrix) Workloads() []string { return m.order }
+
+// Get returns the result for (workload, variant).
+func (m *Matrix) Get(workload, variant string) (Result, bool) {
+	r, ok := m.results[workload][variant]
+	return r, ok
+}
+
+// MustGet is Get or panic; figures use it after a full RunMatrix.
+func (m *Matrix) MustGet(workload, variant string) Result {
+	r, ok := m.Get(workload, variant)
+	if !ok {
+		panic(fmt.Sprintf("core: no result for %s/%s", workload, variant))
+	}
+	return r
+}
+
+// StaticBest returns the static variant with the lowest execution time
+// for a workload, and its result.
+func (m *Matrix) StaticBest(workload string) (string, Result) {
+	return m.staticExtreme(workload, true)
+}
+
+// StaticWorst returns the static variant with the highest execution time.
+func (m *Matrix) StaticWorst(workload string) (string, Result) {
+	return m.staticExtreme(workload, false)
+}
+
+func (m *Matrix) staticExtreme(workload string, best bool) (string, Result) {
+	var picked string
+	var pr Result
+	for _, v := range StaticVariants() {
+		r, ok := m.Get(workload, v.Label)
+		if !ok {
+			continue
+		}
+		if picked == "" ||
+			(best && r.Snap.Cycles < pr.Snap.Cycles) ||
+			(!best && r.Snap.Cycles > pr.Snap.Cycles) {
+			picked, pr = v.Label, r
+		}
+	}
+	if picked == "" {
+		panic(fmt.Sprintf("core: no static results for %s", workload))
+	}
+	return picked, pr
+}

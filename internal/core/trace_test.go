@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func TestRunRecordedCapturesEveryRequest(t *testing.T) {
+	spec, _ := workloads.ByName("FwSoft")
+	v, _ := VariantByLabel("CacheR")
+	r, tr, err := RunRecorded(testConfig(), v, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(tr.Events)) != r.Snap.GPUMemRequests {
+		t.Fatalf("trace has %d events, run issued %d requests",
+			len(tr.Events), r.Snap.GPUMemRequests)
+	}
+	// The recorded run must match an unrecorded run exactly (the tap
+	// is timing-transparent).
+	plain, err := RunOne(testConfig(), v, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Snap != r.Snap {
+		t.Fatalf("recorder perturbed the run:\n%+v\n%+v", plain.Snap, r.Snap)
+	}
+}
+
+func TestRecordedTraceSerializes(t *testing.T) {
+	spec, _ := workloads.ByName("BwSoft")
+	v, _ := VariantByLabel("CacheRW")
+	_, tr, err := RunRecorded(testConfig(), v, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back trace.Trace
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back.Events), len(tr.Events))
+	}
+}
+
+func TestReplayWhatIf(t *testing.T) {
+	// Record under Uncached, replay under CacheR: the replayed stream
+	// must produce cache hits (softmax re-reads its input), showing
+	// the what-if path re-decorates requests.
+	spec, _ := workloads.ByName("FwSoft")
+	un, _ := VariantByLabel("Uncached")
+	_, tr, err := RunRecorded(testConfig(), un, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timed replay preserves the recorded gaps between softmax passes,
+	// so the cached re-reads hit while uncached ones refetch.
+	cr, _ := VariantByLabel("CacheR")
+	snap, err := ReplayTrace(testConfig(), cr, tr, trace.Timed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.L1.Hits+snap.L1.Coalesced == 0 {
+		t.Fatal("replay under CacheR produced neither hits nor coalescing")
+	}
+	if snap.DRAM.Accesses() == 0 {
+		t.Fatal("replay produced no DRAM traffic")
+	}
+	snapU, err := ReplayTrace(testConfig(), un, tr, trace.Timed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapU.DRAM.Accesses() <= snap.DRAM.Accesses() {
+		t.Fatalf("uncached replay demand %d not above cached %d",
+			snapU.DRAM.Accesses(), snap.DRAM.Accesses())
+	}
+}
+
+func TestReplayTimedMode(t *testing.T) {
+	spec, _ := workloads.ByName("FwSoft")
+	v, _ := VariantByLabel("CacheR")
+	_, tr, err := RunRecorded(testConfig(), v, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReplayTrace(testConfig(), v, tr, trace.Timed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cycles == 0 || snap.GPUMemRequests != uint64(len(tr.Events)) {
+		t.Fatalf("timed replay snapshot wrong: %+v", snap)
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	spec, _ := workloads.ByName("BwSoft")
+	v, _ := VariantByLabel("CacheRW")
+	_, tr, err := RunRecorded(testConfig(), v, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReplayTrace(testConfig(), v, tr, trace.Windowed, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayTrace(testConfig(), v, tr, trace.Windowed, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("replay nondeterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,362 @@
+// Package dram models the HBM2 main memory of the simulated APU
+// (Table 1: 16 channels, 16 banks per channel, ~512 GB/s) at the level of
+// detail the paper's Figures 9 and 13 require: per-bank open rows, row
+// hit/miss/conflict timing, and per-bank FR-FCFS scheduling.
+//
+// Address interleaving spreads consecutive InterleaveLines-line blocks
+// across channels (256 B granularity by default, as GPU memory
+// controllers do to preserve row-buffer locality); within a channel,
+// consecutive blocks fill a row's columns, then move to the next bank.
+// Regular streaming traffic therefore enjoys high row-buffer locality —
+// exactly the property the paper observes MI workloads to have, and
+// which caching can disrupt.
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the memory system. All timings are in GPU cycles.
+type Config struct {
+	// Channels and BanksPerChannel define the parallelism (Table 1:
+	// 16 and 16). Both must be powers of two.
+	Channels, BanksPerChannel int
+	// RowBytes is the row-buffer size per bank (2 KB → 32 lines).
+	RowBytes int
+	// InterleaveLines is the channel-interleave granularity in cache
+	// lines (4 → 256 B blocks). Must be a power of two.
+	InterleaveLines int
+	// TRCD is the activate (row open) latency.
+	TRCD event.Cycle
+	// TRP is the precharge (row close) latency.
+	TRP event.Cycle
+	// TCL is the CAS (column access) latency.
+	TCL event.Cycle
+	// TBurst is the data-bus occupancy of one line transfer; it sets
+	// the per-channel bandwidth ceiling.
+	TBurst event.Cycle
+	// Lookahead bounds how deep FR-FCFS searches each bank queue for
+	// a row hit before falling back to oldest-first.
+	Lookahead int
+	// FixedLatency is the controller/interconnect overhead added to
+	// every response.
+	FixedLatency event.Cycle
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Channels <= 0 || c.Channels&(c.Channels-1) != 0 {
+		return fmt.Errorf("dram: Channels must be a positive power of two, got %d", c.Channels)
+	}
+	if c.BanksPerChannel <= 0 || c.BanksPerChannel&(c.BanksPerChannel-1) != 0 {
+		return fmt.Errorf("dram: BanksPerChannel must be a positive power of two, got %d", c.BanksPerChannel)
+	}
+	if c.RowBytes < mem.LineSize || c.RowBytes%mem.LineSize != 0 {
+		return fmt.Errorf("dram: RowBytes must be a positive multiple of the line size, got %d", c.RowBytes)
+	}
+	rl := c.RowBytes / mem.LineSize
+	if rl&(rl-1) != 0 {
+		return fmt.Errorf("dram: RowBytes/LineSize must be a power of two, got %d", rl)
+	}
+	if c.InterleaveLines <= 0 || c.InterleaveLines&(c.InterleaveLines-1) != 0 {
+		return fmt.Errorf("dram: InterleaveLines must be a positive power of two, got %d", c.InterleaveLines)
+	}
+	if c.TBurst == 0 {
+		return fmt.Errorf("dram: TBurst must be nonzero")
+	}
+	if c.Lookahead <= 0 {
+		return fmt.Errorf("dram: Lookahead must be positive, got %d", c.Lookahead)
+	}
+	return nil
+}
+
+// Default returns the Table 1 HBM2 configuration expressed in GPU cycles
+// (1.6 GHz GPU clock, 1000 MHz memory clock).
+func Default() Config {
+	return Config{
+		Channels:        16,
+		BanksPerChannel: 16,
+		RowBytes:        2048,
+		InterleaveLines: 4,
+		TRCD:            22,
+		TRP:             22,
+		TCL:             22,
+		TBurst:          3,
+		Lookahead:       8,
+		FixedLatency:    48,
+	}
+}
+
+// Location is the decoded placement of a line address.
+type Location struct {
+	Channel int
+	Bank    int
+	Row     uint64
+	Column  int
+}
+
+// Map decodes a line address into its channel, bank, row and column under
+// cfg's interleaving.
+func (c *Config) Map(lineAddr mem.Addr) Location {
+	lineNum := mem.LineIndex(lineAddr)
+	g := uint64(c.InterleaveLines)
+	rowLines := uint64(c.RowBytes / mem.LineSize)
+
+	block := lineNum / g
+	within := lineNum % g
+	ch := int(block % uint64(c.Channels))
+	localLine := (block/uint64(c.Channels))*g + within
+
+	col := int(localLine % rowLines)
+	bankIdx := int((localLine / rowLines) % uint64(c.BanksPerChannel))
+	row := localLine / rowLines / uint64(c.BanksPerChannel)
+	return Location{Channel: ch, Bank: bankIdx, Row: row, Column: col}
+}
+
+// RowID returns a globally unique row identifier for a line address; the
+// L2 dirty-block-index rinser groups dirty lines by it.
+func (c *Config) RowID(lineAddr mem.Addr) uint64 {
+	loc := c.Map(lineAddr)
+	return (loc.Row*uint64(c.BanksPerChannel)+uint64(loc.Bank))*uint64(c.Channels) + uint64(loc.Channel)
+}
+
+type entry struct {
+	req    *mem.Request
+	row    uint64
+	seq    uint64
+	served bool
+}
+
+// bankQ is one bank: its open-row state and its request queue. The queue
+// uses tombstones so out-of-order FR-FCFS service stays O(lookahead).
+type bankQ struct {
+	entries []entry
+	head    int
+	live    int
+
+	open    bool
+	openRow uint64
+	readyAt event.Cycle
+}
+
+func (b *bankQ) push(e entry) {
+	b.entries = append(b.entries, e)
+	b.live++
+}
+
+func (b *bankQ) serve(i int) entry {
+	e := b.entries[i]
+	b.entries[i].served = true
+	b.entries[i].req = nil
+	b.live--
+	for b.head < len(b.entries) && b.entries[b.head].served {
+		b.head++
+	}
+	if b.head > 256 && b.head*2 > len(b.entries) {
+		n := copy(b.entries, b.entries[b.head:])
+		b.entries = b.entries[:n]
+		b.head = 0
+	}
+	return e
+}
+
+type channel struct {
+	banks       []bankQ
+	live        int
+	busFreeAt   event.Cycle
+	tickPending bool
+	tickAt      event.Cycle
+	tickSeq     uint64
+}
+
+// Controller is the memory controller; it implements cache.Port.
+type Controller struct {
+	cfg      Config
+	sim      *event.Sim
+	channels []channel
+	seq      uint64
+
+	// Stats accumulates controller counters.
+	Stats stats.DRAMStats
+}
+
+// New builds a Controller. Invalid configuration panics: memory geometry
+// is fixed at system construction.
+func New(cfg Config, sim *event.Sim) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Controller{cfg: cfg, sim: sim, channels: make([]channel, cfg.Channels)}
+	for i := range d.channels {
+		d.channels[i].banks = make([]bankQ, cfg.BanksPerChannel)
+	}
+	return d
+}
+
+// Submit implements the Port interface: the request joins its bank's
+// queue and is serviced under per-bank FR-FCFS.
+func (d *Controller) Submit(req *mem.Request) {
+	loc := d.cfg.Map(req.Line)
+	ch := &d.channels[loc.Channel]
+	d.seq++
+	ch.banks[loc.Bank].push(entry{req: req, row: loc.Row, seq: d.seq})
+	ch.live++
+	d.scheduleTick(loc.Channel, d.sim.Now())
+}
+
+// scheduleTick arranges a scheduling attempt for channel ci at time t.
+// At most one tick per channel is live: scheduling an earlier tick
+// supersedes a pending later one via a generation counter.
+func (d *Controller) scheduleTick(ci int, t event.Cycle) {
+	ch := &d.channels[ci]
+	now := d.sim.Now()
+	if t < now {
+		t = now
+	}
+	if ch.tickPending && ch.tickAt <= t {
+		return
+	}
+	ch.tickSeq++
+	seq := ch.tickSeq
+	ch.tickPending = true
+	ch.tickAt = t
+	d.sim.At(t, func() {
+		if d.channels[ci].tickSeq != seq {
+			return // superseded
+		}
+		d.tick(ci)
+	})
+}
+
+// tick attempts to issue one request on channel ci: first the oldest
+// row-hitting request on any ready bank (searching each bank queue up to
+// Lookahead deep), then the oldest request on any ready bank, else it
+// re-arms for the earliest bank-ready time.
+func (d *Controller) tick(ci int) {
+	ch := &d.channels[ci]
+	ch.tickPending = false
+	if ch.live == 0 {
+		return
+	}
+	now := d.sim.Now()
+	if ch.busFreeAt > now {
+		d.scheduleTick(ci, ch.busFreeAt)
+		return
+	}
+
+	pickBank, pickIdx := -1, -1
+	var pickSeq uint64
+
+	// Row-hit pass: oldest row hit across ready banks.
+	for bi := range ch.banks {
+		b := &ch.banks[bi]
+		if b.live == 0 || b.readyAt > now || !b.open {
+			continue
+		}
+		scanned := 0
+		for i := b.head; i < len(b.entries) && scanned < d.cfg.Lookahead; i++ {
+			e := &b.entries[i]
+			if e.served {
+				continue
+			}
+			scanned++
+			if e.row == b.openRow {
+				if pickBank == -1 || e.seq < pickSeq {
+					pickBank, pickIdx, pickSeq = bi, i, e.seq
+				}
+				break
+			}
+		}
+	}
+	// FCFS pass: oldest head entry across ready banks.
+	if pickBank == -1 {
+		for bi := range ch.banks {
+			b := &ch.banks[bi]
+			if b.live == 0 || b.readyAt > now {
+				continue
+			}
+			e := &b.entries[b.head]
+			if pickBank == -1 || e.seq < pickSeq {
+				pickBank, pickIdx, pickSeq = bi, b.head, e.seq
+			}
+		}
+	}
+	if pickBank == -1 {
+		// Every bank with work is busy: wake at the earliest ready.
+		earliest := event.Cycle(0)
+		for bi := range ch.banks {
+			b := &ch.banks[bi]
+			if b.live == 0 {
+				continue
+			}
+			if earliest == 0 || b.readyAt < earliest {
+				earliest = b.readyAt
+			}
+		}
+		d.scheduleTick(ci, earliest)
+		return
+	}
+
+	b := &ch.banks[pickBank]
+	e := b.serve(pickIdx)
+	ch.live--
+
+	var access event.Cycle
+	switch {
+	case b.open && b.openRow == e.row:
+		access = d.cfg.TCL
+		d.Stats.RowHits++
+		d.countRow(e.req.Kind, true)
+	case !b.open:
+		access = d.cfg.TRCD + d.cfg.TCL
+		d.Stats.RowMisses++
+		d.countRow(e.req.Kind, false)
+	default:
+		access = d.cfg.TRP + d.cfg.TRCD + d.cfg.TCL
+		d.Stats.RowConflicts++
+		d.countRow(e.req.Kind, false)
+	}
+	b.open = true
+	b.openRow = e.row
+	b.readyAt = now + access
+	ch.busFreeAt = now + d.cfg.TBurst
+
+	if e.req.Kind == mem.Load {
+		d.Stats.Reads++
+	} else {
+		d.Stats.Writes++
+	}
+	if e.req.Done != nil {
+		d.sim.At(now+access+d.cfg.TBurst+d.cfg.FixedLatency, e.req.Done)
+	}
+	if ch.live > 0 {
+		d.scheduleTick(ci, ch.busFreeAt)
+	}
+}
+
+func (d *Controller) countRow(k mem.Kind, hit bool) {
+	if k == mem.Load {
+		d.Stats.LoadRowTotal++
+		if hit {
+			d.Stats.LoadRowHits++
+		}
+	} else {
+		d.Stats.StoreRowTotal++
+		if hit {
+			d.Stats.StoreRowHits++
+		}
+	}
+}
+
+// QueueDepth reports the total queued requests (harness diagnostics).
+func (d *Controller) QueueDepth() int {
+	n := 0
+	for i := range d.channels {
+		n += d.channels[i].live
+	}
+	return n
+}

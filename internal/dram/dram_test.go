@@ -1,0 +1,255 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+func smallConfig() Config {
+	return Config{
+		Channels: 2, BanksPerChannel: 2, RowBytes: 256, InterleaveLines: 1, // 4 lines/row
+		TRCD: 20, TRP: 20, TCL: 20, TBurst: 4, Lookahead: 8, FixedLatency: 10,
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Channels != 16 || cfg.BanksPerChannel != 16 {
+		t.Fatal("Default must match Table 1: 16 channels, 16 banks")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Channels: 3, BanksPerChannel: 2, RowBytes: 256, TBurst: 1, Lookahead: 1},
+		{Channels: 2, BanksPerChannel: 5, RowBytes: 256, TBurst: 1, Lookahead: 1},
+		{Channels: 2, BanksPerChannel: 2, RowBytes: 100, TBurst: 1, Lookahead: 1},
+		{Channels: 2, BanksPerChannel: 2, RowBytes: 192, TBurst: 1, Lookahead: 1},
+		{Channels: 2, BanksPerChannel: 2, RowBytes: 256, TBurst: 0, Lookahead: 1},
+		{Channels: 2, BanksPerChannel: 2, RowBytes: 256, TBurst: 1, Lookahead: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAddressMapping(t *testing.T) {
+	cfg := smallConfig() // 2 ch, 2 banks, 4 lines/row
+	// Line n: channel = n%2, local = n/2, col = local%4,
+	// bank = (local/4)%2, row = local/8.
+	cases := []struct {
+		line uint64
+		want Location
+	}{
+		{0, Location{0, 0, 0, 0}},
+		{1, Location{1, 0, 0, 0}},
+		{2, Location{0, 0, 0, 1}},
+		{8, Location{0, 1, 0, 0}},  // local 4 → bank 1
+		{16, Location{0, 0, 1, 0}}, // local 8 → row 1
+		{17, Location{1, 0, 1, 0}},
+	}
+	for _, c := range cases {
+		got := cfg.Map(mem.Addr(c.line * mem.LineSize))
+		if got != c.want {
+			t.Errorf("Map(line %d) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+// Property: RowID is constant within a row and distinct across rows of the
+// same bank/channel.
+func TestPropertyRowID(t *testing.T) {
+	cfg := Default()
+	rowLines := uint64(cfg.RowBytes / mem.LineSize)
+	g := uint64(cfg.InterleaveLines)
+	f := func(n uint32) bool {
+		lineNum := uint64(n)
+		a := mem.Addr(lineNum * mem.LineSize)
+		loc := cfg.Map(a)
+		// Neighbour inside the same interleave block shares the row.
+		if lineNum%g < g-1 && loc.Column+1 < int(rowLines) {
+			b := mem.Addr((lineNum + 1) * mem.LineSize)
+			if cfg.RowID(a) != cfg.RowID(b) {
+				return false
+			}
+		}
+		// The next block on the same channel shares the row while it
+		// stays within the row's columns.
+		if loc.Column+int(g) < int(rowLines) {
+			b := mem.Addr((lineNum + g*uint64(cfg.Channels)) * mem.LineSize)
+			if cfg.RowID(a) != cfg.RowID(b) {
+				return false
+			}
+		}
+		// The same column in the next row of the same bank differs.
+		stride := uint64(cfg.Channels) * rowLines * uint64(cfg.BanksPerChannel)
+		c := mem.Addr((lineNum + stride) * mem.LineSize)
+		return cfg.RowID(a) != cfg.RowID(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialStreamRowHits(t *testing.T) {
+	sim := event.New()
+	d := New(smallConfig(), sim)
+	done := 0
+	for i := 0; i < 64; i++ {
+		d.Submit(&mem.Request{ID: uint64(i), Line: mem.Addr(i * mem.LineSize),
+			Kind: mem.Load, Done: func() { done++ }})
+	}
+	sim.Run()
+	if done != 64 {
+		t.Fatalf("completed %d of 64", done)
+	}
+	if d.Stats.Reads != 64 {
+		t.Fatalf("reads = %d", d.Stats.Reads)
+	}
+	// 64 lines over 2 channels × 2 banks × 4-line rows = 4 rows per
+	// bank: 16 activates, 48 row hits.
+	if got := d.Stats.RowHitRate(); got < 0.70 || got > 0.80 {
+		t.Fatalf("sequential row hit rate = %v, want ~0.75", got)
+	}
+}
+
+func TestRandomStreamLowRowHits(t *testing.T) {
+	sim := event.New()
+	d := New(smallConfig(), sim)
+	// Strided by exactly one row per access within one bank: always a
+	// conflict after the first.
+	cfg := smallConfig()
+	rowStride := cfg.Channels * cfg.BanksPerChannel * (cfg.RowBytes / mem.LineSize)
+	for i := 0; i < 32; i++ {
+		d.Submit(&mem.Request{ID: uint64(i), Line: mem.Addr(i * rowStride * mem.LineSize),
+			Kind: mem.Load})
+		sim.Run()
+	}
+	if got := d.Stats.RowHitRate(); got != 0 {
+		t.Fatalf("row-thrashing stream hit rate = %v, want 0", got)
+	}
+	if d.Stats.RowConflicts != 31 || d.Stats.RowMisses != 1 {
+		t.Fatalf("conflicts=%d misses=%d, want 31/1", d.Stats.RowConflicts, d.Stats.RowMisses)
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	cfg := smallConfig()
+	sim := event.New()
+	d := New(cfg, sim)
+
+	// Open row 0 on channel 0 / bank 0.
+	d.Submit(&mem.Request{ID: 1, Line: 0, Kind: mem.Load})
+	sim.Run()
+
+	// Enqueue (in this order): a conflict access to row 1, then a hit
+	// access to row 0. FR-FCFS should service the row hit first.
+	var order []uint64
+	rowStride := cfg.Channels * cfg.BanksPerChannel * (cfg.RowBytes / mem.LineSize) * mem.LineSize
+	d.Submit(&mem.Request{ID: 2, Line: mem.Addr(rowStride), Kind: mem.Load,
+		Done: func() { order = append(order, 2) }})
+	d.Submit(&mem.Request{ID: 3, Line: mem.Addr(mem.LineSize * uint64(cfg.Channels)), Kind: mem.Load,
+		Done: func() { order = append(order, 3) }})
+	sim.Run()
+	if len(order) != 2 || order[0] != 3 {
+		t.Fatalf("service order = %v, want row hit (3) first", order)
+	}
+}
+
+func TestLoadStoreRowAccounting(t *testing.T) {
+	sim := event.New()
+	d := New(smallConfig(), sim)
+	d.Submit(&mem.Request{ID: 1, Line: 0, Kind: mem.Load})
+	d.Submit(&mem.Request{ID: 2, Line: mem.Addr(2 * mem.LineSize), Kind: mem.Store})
+	sim.Run()
+	if d.Stats.LoadRowTotal != 1 || d.Stats.StoreRowTotal != 1 {
+		t.Fatalf("load/store totals: %+v", d.Stats)
+	}
+	if d.Stats.Reads != 1 || d.Stats.Writes != 1 {
+		t.Fatalf("reads/writes: %+v", d.Stats)
+	}
+}
+
+func TestBandwidthCeiling(t *testing.T) {
+	// With all requests hitting one channel's open row, throughput is
+	// one line per TBurst.
+	cfg := smallConfig()
+	sim := event.New()
+	d := New(cfg, sim)
+	const n = 100
+	var last event.Cycle
+	for i := 0; i < n; i++ {
+		// Same row: consecutive columns on channel 0, bank 0 — but a
+		// row holds only 4 lines, so reuse the same 4 columns.
+		col := i % 4
+		lineNum := uint64(col * cfg.Channels)
+		d.Submit(&mem.Request{ID: uint64(i), Line: mem.Addr(lineNum * mem.LineSize),
+			Kind: mem.Load, Done: func() { last = sim.Now() }})
+	}
+	sim.Run()
+	minCycles := event.Cycle((n - 1) * int(cfg.TBurst))
+	if last < minCycles {
+		t.Fatalf("last response at %d, but bus ceiling requires ≥ %d", last, minCycles)
+	}
+}
+
+func TestUncontestedLatency(t *testing.T) {
+	cfg := smallConfig()
+	sim := event.New()
+	d := New(cfg, sim)
+	var at event.Cycle
+	d.Submit(&mem.Request{ID: 1, Line: 0, Kind: mem.Load, Done: func() { at = sim.Now() }})
+	sim.Run()
+	want := cfg.TRCD + cfg.TCL + cfg.TBurst + cfg.FixedLatency
+	if at != want {
+		t.Fatalf("uncontested latency = %d, want %d", at, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() (uint64, uint64, uint64) {
+		sim := event.New()
+		d := New(smallConfig(), sim)
+		for i := 0; i < 500; i++ {
+			k := mem.Load
+			if i%4 == 0 {
+				k = mem.Store
+			}
+			line := mem.Addr(((i * 13) % 256) * mem.LineSize)
+			d.Submit(&mem.Request{ID: uint64(i), Line: line, Kind: k})
+			if i%7 == 0 {
+				sim.RunUntil(sim.Now() + 3)
+			}
+		}
+		sim.Run()
+		return d.Stats.RowHits, d.Stats.RowConflicts, uint64(sim.Now())
+	}
+	a1, b1, c1 := runOnce()
+	a2, b2, c2 := runOnce()
+	if a1 != a2 || b1 != b2 || c1 != c2 {
+		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", a1, b1, c1, a2, b2, c2)
+	}
+}
+
+func TestQueueDrains(t *testing.T) {
+	sim := event.New()
+	d := New(smallConfig(), sim)
+	for i := 0; i < 200; i++ {
+		d.Submit(&mem.Request{ID: uint64(i), Line: mem.Addr(i * 64), Kind: mem.Load})
+	}
+	sim.Run()
+	if d.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d after drain", d.QueueDepth())
+	}
+	if d.Stats.Accesses() != 200 {
+		t.Fatalf("accesses = %d, want 200", d.Stats.Accesses())
+	}
+}

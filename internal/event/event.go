@@ -1,0 +1,115 @@
+// Package event provides a deterministic discrete-event simulation engine.
+//
+// All simulator components share a single Sim. Time is measured in integer
+// cycles (GPU clock domain). Events scheduled for the same cycle fire in
+// the order they were scheduled, which keeps runs bit-for-bit reproducible.
+package event
+
+import "container/heap"
+
+// Cycle is a point in simulated time, in GPU clock cycles.
+type Cycle uint64
+
+// Func is the callback invoked when an event fires.
+type Func func()
+
+type item struct {
+	at  Cycle
+	seq uint64
+	fn  Func
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h eventHeap) peek() item    { return h[0] }
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now    Cycle
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	maxLen int
+}
+
+// New returns a fresh simulator at cycle 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated cycle.
+func (s *Sim) Now() Cycle { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Schedule arranges for fn to run delay cycles from now. A delay of zero
+// runs fn later in the current cycle, after already-queued same-cycle
+// events.
+func (s *Sim) Schedule(delay Cycle, fn Func) {
+	s.At(s.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute cycle t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (s *Sim) At(t Cycle, fn Func) {
+	if t < s.now {
+		panic("event: scheduling in the past")
+	}
+	if fn == nil {
+		panic("event: nil event func")
+	}
+	s.seq++
+	heap.Push(&s.queue, item{at: t, seq: s.seq, fn: fn})
+	if len(s.queue) > s.maxLen {
+		s.maxLen = len(s.queue)
+	}
+}
+
+// Step executes the next event, if any, advancing the clock to its time.
+// It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.queue).(item)
+	s.now = it.at
+	s.fired++
+	it.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final cycle.
+func (s *Sim) Run() Cycle {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with time ≤ limit. It returns true if the queue
+// drained, false if events at cycles beyond limit remain.
+func (s *Sim) RunUntil(limit Cycle) bool {
+	for len(s.queue) > 0 && s.queue.peek().at <= limit {
+		s.Step()
+	}
+	if len(s.queue) == 0 {
+		return true
+	}
+	s.now = limit
+	return false
+}
+
+// MaxQueueLen reports the high-water mark of the event queue, useful for
+// harness diagnostics.
+func (s *Sim) MaxQueueLen() int { return s.maxLen }

@@ -1,0 +1,185 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Sim
+	ran := false
+	s.Schedule(5, func() { ran = true })
+	if got := s.Run(); got != 5 {
+		t.Fatalf("Run returned %d, want 5", got)
+	}
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}
+
+func TestOrderingByTime(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(10, func() { order = append(order, 2) })
+	s.Schedule(3, func() { order = append(order, 1) })
+	s.Schedule(20, func() { order = append(order, 3) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(7, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := 0; i < 100; i++ {
+		if order[i] != i {
+			t.Fatalf("same-cycle events fired out of order at %d: %v", i, order[i])
+		}
+	}
+}
+
+func TestZeroDelayRunsSameCycle(t *testing.T) {
+	s := New()
+	var at Cycle
+	s.Schedule(4, func() {
+		s.Schedule(0, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 4 {
+		t.Fatalf("zero-delay event ran at %d, want 4", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			s.Schedule(2, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	end := s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if end != 18 {
+		t.Fatalf("end = %d, want 18", end)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []Cycle
+	for _, d := range []Cycle{1, 5, 9, 15} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	drained := s.RunUntil(9)
+	if drained {
+		t.Fatal("RunUntil(9) reported drained with an event at 15 pending")
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 9 {
+		t.Fatalf("Now = %d, want 9", s.Now())
+	}
+	if !s.RunUntil(100) {
+		t.Fatal("RunUntil(100) should drain")
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events, want 4", len(fired))
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	s.At(3, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil func did not panic")
+		}
+	}()
+	s.Schedule(1, nil)
+}
+
+func TestFiredAndPending(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.Schedule(Cycle(i), func() {})
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", s.Fired())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the final clock equals the max delay.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := New()
+		var times []Cycle
+		var max Cycle
+		for _, d := range delays {
+			d := Cycle(d)
+			if d > max {
+				max = d
+			}
+			s.Schedule(d, func() { times = append(times, s.Now()) })
+		}
+		end := s.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		if len(delays) > 0 && end != max {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxQueueLen(t *testing.T) {
+	s := New()
+	for i := 0; i < 17; i++ {
+		s.Schedule(Cycle(i), func() {})
+	}
+	s.Run()
+	if s.MaxQueueLen() != 17 {
+		t.Fatalf("MaxQueueLen = %d, want 17", s.MaxQueueLen())
+	}
+}

@@ -1,0 +1,76 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestDispatchSpreadsAcrossCUs ensures small grids do not pile onto CU 0:
+// the hardware dispatcher round-robins workgroups over compute units.
+func TestDispatchSpreadsAcrossCUs(t *testing.T) {
+	cfg := tinyConfig() // 2 CUs
+	g, sim, ports := build(cfg, 20)
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: mem.Addr(wg * 0x1000), Stride: 4, Lanes: 64},
+		}
+	}
+	// 2 workgroups, each far below one CU's capacity: they must land
+	// on different CUs.
+	g.RunWorkload([]Kernel{simpleKernel("spread", 2, 1, prog)}, nil)
+	sim.Run()
+	for i, p := range ports {
+		if len(p.arrived) == 0 {
+			t.Fatalf("CU %d received no traffic; dispatch did not spread", i)
+		}
+	}
+}
+
+// TestDispatchRoundRobinAcrossKernels ensures the round-robin pointer
+// persists so consecutive tiny kernels alternate CUs.
+func TestDispatchRoundRobinAcrossKernels(t *testing.T) {
+	cfg := tinyConfig()
+	g, sim, ports := build(cfg, 20)
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: 0, Stride: 4, Lanes: 64},
+		}
+	}
+	ks := []Kernel{
+		simpleKernel("k0", 1, 1, prog),
+		simpleKernel("k1", 1, 1, prog),
+	}
+	g.RunWorkload(ks, nil)
+	sim.Run()
+	if len(ports[0].arrived) == 0 || len(ports[1].arrived) == 0 {
+		t.Fatalf("kernels did not alternate CUs: %d/%d requests",
+			len(ports[0].arrived), len(ports[1].arrived))
+	}
+}
+
+// TestDispatchRefillsFreedSlots checks a long grid keeps all CUs busy as
+// workgroups retire.
+func TestDispatchRefillsFreedSlots(t *testing.T) {
+	cfg := tinyConfig() // 2 CUs × 8 slots
+	g, sim, ports := build(cfg, 40)
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: mem.Addr(wg * 0x1000), Stride: 4, Lanes: 64},
+			WaitCnt{Max: 0},
+		}
+	}
+	g.RunWorkload([]Kernel{simpleKernel("refill", 64, 4, prog)}, nil)
+	sim.Run()
+	if g.Stats.WavesRetired != 256 {
+		t.Fatalf("retired %d waves, want 256", g.Stats.WavesRetired)
+	}
+	a, b := len(ports[0].arrived), len(ports[1].arrived)
+	if a == 0 || b == 0 {
+		t.Fatal("a CU idled for the whole kernel")
+	}
+	ratio := float64(a) / float64(a+b)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("imbalanced dispatch: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,576 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// Config parameterizes the GPU (Table 1 defaults via DefaultConfig).
+type Config struct {
+	// CUs is the number of compute units.
+	CUs int
+	// SIMDsPerCU is the number of SIMD units per CU.
+	SIMDsPerCU int
+	// MaxWavesPerSIMD bounds resident wavefronts per SIMD.
+	MaxWavesPerSIMD int
+	// WavefrontWidth is lanes per wavefront.
+	WavefrontWidth int
+	// MLPLimit caps outstanding line requests per wavefront; a memory
+	// instruction whose lines would exceed it waits (models the vector
+	// memory unit's request buffer).
+	MLPLimit int
+	// LaunchLatency is the host-side latency between kernels (launch,
+	// driver and coherence-action overhead excluded).
+	LaunchLatency event.Cycle
+	// DispatchInterval is the pacing of the hardware workgroup
+	// dispatcher: one workgroup is placed every DispatchInterval
+	// cycles. Zero places all workgroups instantly (lockstep), which
+	// overstates cross-workgroup request coalescing.
+	DispatchInterval event.Cycle
+}
+
+// DefaultConfig returns the Table 1 GPU parameters.
+func DefaultConfig() Config {
+	return Config{
+		CUs:              64,
+		SIMDsPerCU:       4,
+		MaxWavesPerSIMD:  10,
+		WavefrontWidth:   64,
+		MLPLimit:         32,
+		LaunchLatency:    1200,
+		DispatchInterval: 8,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.CUs <= 0 || c.SIMDsPerCU <= 0 || c.MaxWavesPerSIMD <= 0 {
+		return fmt.Errorf("gpu: CU/SIMD/wave counts must be positive: %+v", *c)
+	}
+	if c.WavefrontWidth <= 0 || c.MLPLimit <= 0 {
+		return fmt.Errorf("gpu: WavefrontWidth and MLPLimit must be positive: %+v", *c)
+	}
+	return nil
+}
+
+// Stats aggregates GPU-side counters for one run.
+type Stats struct {
+	VectorOps    uint64
+	MemRequests  uint64
+	Instructions uint64
+	WavesRetired uint64
+	KernelsRun   uint64
+	LDSAccesses  uint64
+}
+
+// GPU executes kernels against the memory hierarchy. Ports[i] is the
+// memory-side port (normally the policy-wrapped L1) of CU i.
+type GPU struct {
+	cfg   Config
+	sim   *event.Sim
+	ports []cache.Port
+	ids   mem.IDSource
+
+	cus          []*cu
+	waveSeq      int
+	dispatchRR   int
+	dispatchBusy bool
+
+	// Decorate, if non-nil, adjusts each line request before it enters
+	// the hierarchy; the coherence layer uses it to apply the caching
+	// policy (e.g. mark all traffic Bypass under Uncached).
+	Decorate func(*mem.Request)
+
+	// OnKernelDone, if non-nil, runs between a kernel's completion and
+	// the next launch; the coherence layer performs kernel-boundary
+	// invalidations/flushes in it and calls resume when finished.
+	OnKernelDone func(k *Kernel, resume func())
+
+	Stats Stats
+
+	// run state
+	kernels   []Kernel
+	kernelIdx int
+	wgNext    int
+	wgDone    int
+	current   *Kernel
+	finished  func()
+}
+
+// New builds a GPU. ports must have one entry per CU.
+func New(cfg Config, sim *event.Sim, ports []cache.Port) *GPU {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if len(ports) != cfg.CUs {
+		panic(fmt.Sprintf("gpu: %d ports for %d CUs", len(ports), cfg.CUs))
+	}
+	g := &GPU{cfg: cfg, sim: sim, ports: ports}
+	g.cus = make([]*cu, cfg.CUs)
+	for i := range g.cus {
+		g.cus[i] = newCU(g, i)
+	}
+	return g
+}
+
+// SetPorts replaces the per-CU memory ports (e.g. to interpose a trace
+// recorder). It must be called before RunWorkload; changing ports with
+// requests in flight would misroute responses.
+func (g *GPU) SetPorts(ports []cache.Port) {
+	if len(ports) != g.cfg.CUs {
+		panic(fmt.Sprintf("gpu: %d ports for %d CUs", len(ports), g.cfg.CUs))
+	}
+	if g.current != nil {
+		panic("gpu: SetPorts while a kernel is running")
+	}
+	g.ports = ports
+}
+
+// RunWorkload executes kernels in order, invoking OnKernelDone between
+// them, then calls finished.
+func (g *GPU) RunWorkload(kernels []Kernel, finished func()) {
+	if len(kernels) == 0 {
+		if finished != nil {
+			g.sim.Schedule(0, finished)
+		}
+		return
+	}
+	g.kernels = kernels
+	g.kernelIdx = 0
+	g.finished = finished
+	g.launch()
+}
+
+func (g *GPU) launch() {
+	k := &g.kernels[g.kernelIdx]
+	if k.Workgroups <= 0 || k.WavesPerWG <= 0 || k.NewProgram == nil {
+		panic(fmt.Sprintf("gpu: kernel %q malformed", k.Name))
+	}
+	waveSlots := g.cfg.SIMDsPerCU * g.cfg.MaxWavesPerSIMD
+	if k.WavesPerWG > waveSlots {
+		panic(fmt.Sprintf("gpu: kernel %q needs %d waves per WG, CU holds %d", k.Name, k.WavesPerWG, waveSlots))
+	}
+	g.current = k
+	g.wgNext = 0
+	g.wgDone = 0
+	g.Stats.KernelsRun++
+	g.dispatch()
+}
+
+// dispatch assigns pending workgroups to CUs with space, round-robin
+// across CUs so concurrent workgroups spread over the whole GPU (as the
+// hardware workgroup dispatcher does) instead of piling onto CU 0. With
+// a nonzero DispatchInterval, placements are paced one per interval.
+func (g *GPU) dispatch() {
+	if g.dispatchBusy {
+		return
+	}
+	g.dispatchOne()
+}
+
+// dispatchOne places a single workgroup if possible, then re-arms itself
+// while work and capacity remain.
+func (g *GPU) dispatchOne() {
+	g.dispatchBusy = false
+	k := g.current
+	if k == nil || g.wgNext >= k.Workgroups {
+		return
+	}
+	n := len(g.cus)
+	for i := 0; i < n; i++ {
+		c := g.cus[(g.dispatchRR+i)%n]
+		if c.freeSlots() >= k.WavesPerWG {
+			c.place(k, g.wgNext)
+			g.wgNext++
+			g.dispatchRR = (g.dispatchRR + i + 1) % n
+			if g.wgNext < k.Workgroups {
+				interval := g.cfg.DispatchInterval
+				if interval == 0 {
+					g.dispatchOne()
+					return
+				}
+				g.dispatchBusy = true
+				g.sim.Schedule(interval, g.dispatchOne)
+			}
+			return
+		}
+	}
+	// No capacity: a retiring workgroup re-triggers dispatch.
+}
+
+// workgroupFinished is called by a CU when all waves of a WG retire.
+func (g *GPU) workgroupFinished() {
+	g.wgDone++
+	k := g.current
+	if g.wgDone == k.Workgroups {
+		g.kernelFinished()
+		return
+	}
+	g.dispatch()
+}
+
+func (g *GPU) kernelFinished() {
+	k := g.current
+	next := func() {
+		g.kernelIdx++
+		if g.kernelIdx >= len(g.kernels) {
+			if g.finished != nil {
+				g.finished()
+			}
+			return
+		}
+		g.sim.Schedule(g.cfg.LaunchLatency, g.launch)
+	}
+	if g.OnKernelDone != nil {
+		g.OnKernelDone(k, next)
+		return
+	}
+	next()
+}
+
+// ----- compute unit -----
+
+type cu struct {
+	g     *GPU
+	id    int
+	simds []*simd
+}
+
+func newCU(g *GPU, id int) *cu {
+	c := &cu{g: g, id: id}
+	c.simds = make([]*simd, g.cfg.SIMDsPerCU)
+	for i := range c.simds {
+		c.simds[i] = &simd{cu: c}
+	}
+	return c
+}
+
+func (c *cu) freeSlots() int {
+	n := 0
+	for _, s := range c.simds {
+		n += c.g.cfg.MaxWavesPerSIMD - s.liveWaves()
+	}
+	return n
+}
+
+// place instantiates a workgroup's wavefronts on this CU, spreading them
+// across SIMDs by free capacity.
+func (c *cu) place(k *Kernel, wgID int) {
+	wg := &workgroup{cu: c, live: k.WavesPerWG}
+	for w := 0; w < k.WavesPerWG; w++ {
+		// Pick the SIMD with the most free slots (ties: lowest id).
+		best := -1
+		bestFree := 0
+		for i, s := range c.simds {
+			free := c.g.cfg.MaxWavesPerSIMD - s.liveWaves()
+			if free > bestFree {
+				bestFree = free
+				best = i
+			}
+		}
+		if best == -1 {
+			panic("gpu: place called without free slots")
+		}
+		s := c.simds[best]
+		s.compact()
+		c.g.waveSeq++
+		wf := &wavefront{
+			id:      c.g.waveSeq,
+			wg:      wg,
+			simd:    s,
+			prog:    k.NewProgram(wgID, w),
+			waitMax: -1,
+		}
+		s.waves = append(s.waves, wf)
+		s.arm()
+	}
+}
+
+// ----- SIMD unit -----
+
+type simd struct {
+	cu            *cu
+	waves         []*wavefront
+	rr            int
+	tickScheduled bool
+}
+
+// liveWaves counts resident, unretired wavefronts.
+func (s *simd) liveWaves() int {
+	n := 0
+	for _, wf := range s.waves {
+		if !wf.retired {
+			n++
+		}
+	}
+	return n
+}
+
+// arm schedules an issue attempt if one is not already pending.
+func (s *simd) arm() {
+	if s.tickScheduled {
+		return
+	}
+	s.tickScheduled = true
+	s.cu.g.sim.Schedule(1, s.tick)
+}
+
+// tick issues at most one instruction from a ready wavefront.
+func (s *simd) tick() {
+	s.tickScheduled = false
+	now := s.cu.g.sim.Now()
+	n := len(s.waves)
+	if n == 0 {
+		return
+	}
+	var nextWake event.Cycle
+	var occupancy event.Cycle
+	issued := false
+	for i := 0; i < n; i++ {
+		wf := s.waves[(s.rr+i)%n]
+		ready, wakeAt := wf.readyState(now)
+		if ready {
+			s.rr = (s.rr + i + 1) % n
+			occupancy = wf.issue()
+			issued = true
+			break
+		}
+		if wakeAt > now && (nextWake == 0 || wakeAt < nextWake) {
+			nextWake = wakeAt
+		}
+	}
+	s.compact()
+	if len(s.waves) == 0 {
+		return
+	}
+	if issued {
+		// A vector ALU instruction occupies the SIMD issue port for
+		// its full duration (GCN: 64 lanes over a 16-wide SIMD take 4
+		// cycles); other instructions issue back to back.
+		if occupancy < 1 {
+			occupancy = 1
+		}
+		s.tickScheduled = true
+		s.cu.g.sim.Schedule(occupancy, func() {
+			s.tickScheduled = false
+			s.arm()
+		})
+		return
+	}
+	if nextWake > now {
+		s.tickScheduled = true
+		s.cu.g.sim.At(nextWake, func() {
+			s.tickScheduled = false
+			s.arm()
+		})
+	}
+	// Otherwise all waves are blocked on memory or barriers; response
+	// and barrier-release paths re-arm the SIMD.
+}
+
+// compact removes retired wavefronts.
+func (s *simd) compact() {
+	out := s.waves[:0]
+	for _, wf := range s.waves {
+		if !wf.retired {
+			out = append(out, wf)
+		}
+	}
+	s.waves = out
+	if s.rr >= len(s.waves) {
+		s.rr = 0
+	}
+}
+
+// ----- workgroup / wavefront -----
+
+type workgroup struct {
+	cu        *cu
+	live      int // unretired waves
+	atBarrier int
+	barWaves  []*wavefront
+}
+
+type wavefront struct {
+	id   int
+	wg   *workgroup
+	simd *simd
+	prog Program
+
+	cur      Instr
+	curLines []mem.Addr // coalesced lines of cur when it is a MemAccess
+	hasCur   bool
+
+	outstanding int
+	waitMax     int // ≥0: blocked until outstanding ≤ waitMax
+	readyAt     event.Cycle
+	atBarrier   bool
+	draining    bool // program exhausted, waiting for outstanding=0
+	retired     bool
+}
+
+// readyState reports whether the wavefront can issue now, and if it is
+// only time-blocked, when it becomes ready.
+func (wf *wavefront) readyState(now event.Cycle) (bool, event.Cycle) {
+	if wf.retired || wf.draining || wf.atBarrier {
+		return false, 0
+	}
+	if wf.waitMax >= 0 {
+		if wf.outstanding > wf.waitMax {
+			return false, 0 // memory response will unblock
+		}
+		wf.waitMax = -1
+	}
+	if wf.readyAt > now {
+		return false, wf.readyAt
+	}
+	if !wf.hasCur {
+		ins, ok := wf.prog.Next()
+		if !ok {
+			wf.draining = true
+			// Retire as a separate event: retirement can trigger
+			// workgroup dispatch, which mutates the wave list the
+			// caller (simd.tick) is iterating.
+			g := wf.simd.cu.g
+			g.sim.Schedule(0, wf.maybeRetire)
+			return false, 0
+		}
+		wf.cur = ins
+		wf.hasCur = true
+		wf.curLines = nil
+		if ma, ok := ins.(MemAccess); ok {
+			// Coalesce once at fetch; readiness checks and issue
+			// reuse the result.
+			wf.curLines = ma.Lines()
+		}
+	}
+	// A memory access must fit under the MLP limit.
+	if wf.curLines != nil {
+		g := wf.simd.cu.g
+		lines := len(wf.curLines)
+		if wf.outstanding > 0 && wf.outstanding+lines > g.cfg.MLPLimit {
+			wf.waitMax = g.cfg.MLPLimit - lines
+			if wf.waitMax < 0 {
+				wf.waitMax = 0
+			}
+			return false, 0
+		}
+	}
+	return true, 0
+}
+
+// issue executes the current instruction and returns how long it occupies
+// the SIMD issue port.
+func (wf *wavefront) issue() event.Cycle {
+	g := wf.simd.cu.g
+	now := g.sim.Now()
+	g.Stats.Instructions++
+	ins := wf.cur
+	wf.hasCur = false
+
+	switch v := ins.(type) {
+	case Compute:
+		g.Stats.VectorOps += v.VectorOps
+		wf.readyAt = now + v.Cycles
+		return v.Cycles
+	case LDS:
+		g.Stats.LDSAccesses++
+		wf.readyAt = now + v.Cycles
+		// LDS has its own pipe: the SIMD keeps issuing other waves.
+		return 1
+	case WaitCnt:
+		if wf.outstanding > v.Max {
+			wf.waitMax = v.Max
+		}
+		wf.readyAt = now
+		return 1
+	case Barrier:
+		wf.atBarrier = true
+		wg := wf.wg
+		wg.atBarrier++
+		wg.barWaves = append(wg.barWaves, wf)
+		if wg.atBarrier == wg.live {
+			for _, b := range wg.barWaves {
+				b.atBarrier = false
+				b.simd.arm()
+			}
+			wg.atBarrier = 0
+			wg.barWaves = wg.barWaves[:0]
+		}
+		return 1
+	case MemAccess:
+		lines := wf.curLines
+		wf.curLines = nil
+		wf.outstanding += len(lines)
+		wf.readyAt = now + event.Cycle(len(lines))
+		port := g.ports[wf.simd.cu.id]
+		for i, la := range lines {
+			req := &mem.Request{
+				ID:        g.ids.Next(),
+				PC:        v.PC,
+				Line:      la,
+				Kind:      v.Kind,
+				CU:        wf.simd.cu.id,
+				Wavefront: wf.id,
+				Done:      func() { wf.response() },
+			}
+			if g.Decorate != nil {
+				g.Decorate(req)
+			}
+			g.Stats.MemRequests++
+			delay := event.Cycle(i)
+			g.sim.Schedule(delay, func() { port.Submit(req) })
+		}
+		// Address generation occupies the memory pipe, not the SIMD.
+		return 1
+	default:
+		panic(fmt.Sprintf("gpu: unknown instruction %T", ins))
+	}
+}
+
+// response handles one returning line request.
+func (wf *wavefront) response() {
+	wf.outstanding--
+	if wf.outstanding < 0 {
+		panic("gpu: negative outstanding count")
+	}
+	if wf.draining {
+		wf.maybeRetire()
+		return
+	}
+	if wf.waitMax >= 0 && wf.outstanding <= wf.waitMax {
+		wf.simd.arm()
+	}
+	// MLP-blocked memory instructions also resume via arm.
+	if wf.waitMax < 0 {
+		wf.simd.arm()
+	}
+}
+
+func (wf *wavefront) maybeRetire() {
+	if wf.retired || wf.outstanding > 0 {
+		return
+	}
+	wf.retired = true
+	g := wf.simd.cu.g
+	g.Stats.WavesRetired++
+	wg := wf.wg
+	wg.live--
+	if wg.atBarrier > 0 && wg.atBarrier == wg.live {
+		// A retiring wave can release a barrier the rest of the
+		// workgroup is waiting at (defensive; well-formed kernels
+		// barrier before any wave exits).
+		for _, b := range wg.barWaves {
+			b.atBarrier = false
+			b.simd.arm()
+		}
+		wg.atBarrier = 0
+		wg.barWaves = wg.barWaves[:0]
+	}
+	if wg.live == 0 {
+		g.workgroupFinished()
+	}
+	wf.simd.arm()
+}

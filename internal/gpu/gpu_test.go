@@ -1,0 +1,380 @@
+package gpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// latencyPort answers every request after a fixed delay.
+type latencyPort struct {
+	sim     *event.Sim
+	lat     event.Cycle
+	arrived []*mem.Request
+}
+
+func (p *latencyPort) Submit(req *mem.Request) {
+	p.arrived = append(p.arrived, req)
+	if req.Done != nil {
+		p.sim.Schedule(p.lat, req.Done)
+	}
+}
+
+func tinyConfig() Config {
+	return Config{
+		CUs: 2, SIMDsPerCU: 2, MaxWavesPerSIMD: 4,
+		WavefrontWidth: 64, MLPLimit: 16, LaunchLatency: 100,
+	}
+}
+
+func build(cfg Config, lat event.Cycle) (*GPU, *event.Sim, []*latencyPort) {
+	sim := event.New()
+	ports := make([]cache.Port, cfg.CUs)
+	raw := make([]*latencyPort, cfg.CUs)
+	for i := range ports {
+		raw[i] = &latencyPort{sim: sim, lat: lat}
+		ports[i] = raw[i]
+	}
+	return New(cfg, sim, ports), sim, raw
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.CUs != 64 || cfg.SIMDsPerCU != 4 || cfg.MaxWavesPerSIMD != 10 || cfg.WavefrontWidth != 64 {
+		t.Fatalf("DefaultConfig diverges from Table 1: %+v", cfg)
+	}
+}
+
+func TestMemAccessLinesContiguous(t *testing.T) {
+	a := MemAccess{Base: 0, Stride: 4, Lanes: 64, ElemBytes: 4}
+	lines := a.Lines()
+	if len(lines) != 4 {
+		t.Fatalf("64 lanes × 4B contiguous = %d lines, want 4", len(lines))
+	}
+	for i, la := range lines {
+		if la != mem.Addr(i*64) {
+			t.Fatalf("lines = %v", lines)
+		}
+	}
+}
+
+func TestMemAccessLinesBroadcast(t *testing.T) {
+	a := MemAccess{Base: 0x100, Stride: 0, Lanes: 64}
+	if got := len(a.Lines()); got != 1 {
+		t.Fatalf("broadcast lines = %d, want 1", got)
+	}
+}
+
+func TestMemAccessLinesScattered(t *testing.T) {
+	a := MemAccess{Base: 0, Stride: 256, Lanes: 16, ElemBytes: 4}
+	if got := len(a.Lines()); got != 16 {
+		t.Fatalf("scattered lines = %d, want 16", got)
+	}
+}
+
+func TestMemAccessLinesDouble(t *testing.T) {
+	a := MemAccess{Base: 0, Stride: 8, Lanes: 64, ElemBytes: 8}
+	if got := len(a.Lines()); got != 8 {
+		t.Fatalf("64 lanes × 8B = %d lines, want 8", got)
+	}
+}
+
+func TestMemAccessLinesUnaligned(t *testing.T) {
+	// A 4-byte access at the last byte-offset of a line spans two lines.
+	a := MemAccess{Base: 62, Stride: 0, Lanes: 1, ElemBytes: 4}
+	if got := len(a.Lines()); got != 2 {
+		t.Fatalf("straddling access lines = %d, want 2", got)
+	}
+}
+
+// Property: the number of unique lines never exceeds lane count times the
+// per-lane maximum span, and is at least 1.
+func TestPropertyLinesBounded(t *testing.T) {
+	f := func(base uint32, stride int16, lanes uint8) bool {
+		a := MemAccess{Base: mem.Addr(base), Stride: int64(stride), Lanes: int(lanes%64) + 1, ElemBytes: 4}
+		n := len(a.Lines())
+		return n >= 1 && n <= 2*a.Lanes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func simpleKernel(name string, wgs, waves int, prog func(wg, wave int) []Instr) Kernel {
+	return Kernel{
+		Name: name, Workgroups: wgs, WavesPerWG: waves,
+		NewProgram: func(wg, wave int) Program { return NewSliceProgram(prog(wg, wave)) },
+	}
+}
+
+func TestSingleWavefrontRuns(t *testing.T) {
+	g, sim, ports := build(tinyConfig(), 50)
+	k := simpleKernel("k", 1, 1, func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{PC: 1, Kind: mem.Load, Base: 0, Stride: 4, Lanes: 64},
+			WaitCnt{Max: 0},
+			Compute{VectorOps: 64, Cycles: 4},
+			MemAccess{PC: 2, Kind: mem.Store, Base: 0x10000, Stride: 4, Lanes: 64},
+		}
+	})
+	doneAt := event.Cycle(0)
+	g.RunWorkload([]Kernel{k}, func() { doneAt = sim.Now() })
+	sim.Run()
+	if doneAt == 0 {
+		t.Fatal("workload never finished")
+	}
+	if g.Stats.VectorOps != 64 {
+		t.Fatalf("vector ops = %d, want 64", g.Stats.VectorOps)
+	}
+	if g.Stats.MemRequests != 8 {
+		t.Fatalf("mem requests = %d, want 8 (4 load + 4 store lines)", g.Stats.MemRequests)
+	}
+	if g.Stats.WavesRetired != 1 {
+		t.Fatalf("waves retired = %d", g.Stats.WavesRetired)
+	}
+	total := 0
+	for _, p := range ports {
+		total += len(p.arrived)
+	}
+	if total != 8 {
+		t.Fatalf("ports saw %d requests, want 8", total)
+	}
+}
+
+func TestWaitCntEnforcesDependency(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 200)
+	var computeAt event.Cycle
+	k := Kernel{
+		Name: "dep", Workgroups: 1, WavesPerWG: 1,
+		NewProgram: func(wg, wave int) Program {
+			issued := 0
+			return FuncProgram(func() (Instr, bool) {
+				issued++
+				switch issued {
+				case 1:
+					return MemAccess{Kind: mem.Load, Base: 0, Stride: 4, Lanes: 64}, true
+				case 2:
+					return WaitCnt{Max: 0}, true
+				case 3:
+					computeAt = sim.Now()
+					return Compute{VectorOps: 1, Cycles: 1}, true
+				}
+				return nil, false
+			})
+		},
+	}
+	g.RunWorkload([]Kernel{k}, nil)
+	sim.Run()
+	if computeAt < 200 {
+		t.Fatalf("compute fetched at %d, before the 200-cycle load returned", computeAt)
+	}
+}
+
+func TestLatencyHidingAcrossWavefronts(t *testing.T) {
+	// With many wavefronts, total time should be far less than
+	// waves × memory latency: while one waits, others issue.
+	cfg := tinyConfig()
+	const lat = 400
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: mem.Addr(wave * 0x1000), Stride: 4, Lanes: 64},
+			WaitCnt{Max: 0},
+			Compute{VectorOps: 64, Cycles: 2},
+		}
+	}
+	// 8 waves on one CU (1 workgroup).
+	g, sim, _ := build(cfg, lat)
+	g.RunWorkload([]Kernel{simpleKernel("lh", 1, 8, prog)}, nil)
+	end := sim.Run()
+	serial := event.Cycle(8 * lat)
+	if end >= serial {
+		t.Fatalf("no latency hiding: end=%d, serial=%d", end, serial)
+	}
+	if end < lat {
+		t.Fatalf("end=%d below one memory latency %d", end, lat)
+	}
+}
+
+func TestMLPLimitThrottles(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MLPLimit = 4
+	g, sim, ports := build(cfg, 1000)
+	// One wavefront issuing 3 × 4-line loads back to back: with
+	// MLPLimit 4 the 2nd/3rd must wait for responses.
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: 0x0000, Stride: 4, Lanes: 64},
+			MemAccess{Kind: mem.Load, Base: 0x1000, Stride: 4, Lanes: 64},
+			MemAccess{Kind: mem.Load, Base: 0x2000, Stride: 4, Lanes: 64},
+		}
+	}
+	g.RunWorkload([]Kernel{simpleKernel("mlp", 1, 1, prog)}, nil)
+	end := sim.Run()
+	if end < 2000 {
+		t.Fatalf("end=%d; MLP throttling requires ≥2 serialized memory rounds", end)
+	}
+	if len(ports[0].arrived)+len(ports[1].arrived) != 12 {
+		t.Fatal("wrong request count")
+	}
+}
+
+func TestBarrierSynchronizesWorkgroup(t *testing.T) {
+	cfg := tinyConfig()
+	g, sim, _ := build(cfg, 300)
+	var after []event.Cycle
+	k := Kernel{
+		Name: "bar", Workgroups: 1, WavesPerWG: 4,
+		NewProgram: func(wg, wave int) Program {
+			step := 0
+			return FuncProgram(func() (Instr, bool) {
+				step++
+				switch step {
+				case 1:
+					if wave == 0 {
+						// Wave 0 is slow: long memory wait.
+						return MemAccess{Kind: mem.Load, Base: 0, Stride: 4, Lanes: 64}, true
+					}
+					return Compute{VectorOps: 1, Cycles: 1}, true
+				case 2:
+					if wave == 0 {
+						return WaitCnt{Max: 0}, true
+					}
+					return Barrier{}, true
+				case 3:
+					if wave == 0 {
+						return Barrier{}, true
+					}
+					after = append(after, sim.Now())
+					return Compute{VectorOps: 1, Cycles: 1}, true
+				case 4:
+					if wave == 0 {
+						after = append(after, sim.Now())
+						return Compute{VectorOps: 1, Cycles: 1}, true
+					}
+				}
+				return nil, false
+			})
+		},
+	}
+	g.RunWorkload([]Kernel{k}, nil)
+	sim.Run()
+	if len(after) != 4 {
+		t.Fatalf("post-barrier count = %d, want 4", len(after))
+	}
+	for _, at := range after {
+		if at < 300 {
+			t.Fatalf("a wave passed the barrier at %d, before wave 0's 300-cycle load", at)
+		}
+	}
+}
+
+func TestMultiKernelBoundaryCallback(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 10)
+	prog := func(wg, wave int) []Instr {
+		return []Instr{Compute{VectorOps: 1, Cycles: 1}}
+	}
+	var boundaries []string
+	g.OnKernelDone = func(k *Kernel, resume func()) {
+		boundaries = append(boundaries, k.Name)
+		sim.Schedule(5, resume)
+	}
+	ks := []Kernel{
+		simpleKernel("k0", 1, 1, prog),
+		simpleKernel("k1", 1, 1, prog),
+		simpleKernel("k2", 1, 1, prog),
+	}
+	finished := false
+	g.RunWorkload(ks, func() { finished = true })
+	sim.Run()
+	if !finished {
+		t.Fatal("workload did not finish")
+	}
+	if len(boundaries) != 3 || boundaries[0] != "k0" || boundaries[2] != "k2" {
+		t.Fatalf("boundaries = %v", boundaries)
+	}
+	if g.Stats.KernelsRun != 3 {
+		t.Fatalf("kernels run = %d", g.Stats.KernelsRun)
+	}
+}
+
+func TestManyWorkgroupsAllRetire(t *testing.T) {
+	cfg := tinyConfig()
+	g, sim, _ := build(cfg, 30)
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: mem.Addr(wg * 0x4000), Stride: 4, Lanes: 64},
+			WaitCnt{Max: 0},
+			MemAccess{Kind: mem.Store, Base: mem.Addr(0x100000 + wg*0x4000), Stride: 4, Lanes: 64},
+		}
+	}
+	// 50 workgroups × 2 waves over 2 CUs with 8 slots each: requires
+	// multiple dispatch rounds.
+	g.RunWorkload([]Kernel{simpleKernel("many", 50, 2, prog)}, nil)
+	sim.Run()
+	if g.Stats.WavesRetired != 100 {
+		t.Fatalf("waves retired = %d, want 100", g.Stats.WavesRetired)
+	}
+}
+
+func TestDecorateAppliesPolicy(t *testing.T) {
+	g, sim, ports := build(tinyConfig(), 10)
+	g.Decorate = func(r *mem.Request) { r.Bypass = true }
+	prog := func(wg, wave int) []Instr {
+		return []Instr{MemAccess{Kind: mem.Load, Base: 0, Stride: 4, Lanes: 64}}
+	}
+	g.RunWorkload([]Kernel{simpleKernel("dec", 1, 1, prog)}, nil)
+	sim.Run()
+	for _, p := range ports {
+		for _, r := range p.arrived {
+			if !r.Bypass {
+				t.Fatal("Decorate not applied")
+			}
+		}
+	}
+}
+
+func TestEmptyWorkloadFinishes(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 10)
+	finished := false
+	g.RunWorkload(nil, func() { finished = true })
+	sim.Run()
+	if !finished {
+		t.Fatal("empty workload did not finish")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() (uint64, event.Cycle) {
+		g, sim, _ := build(tinyConfig(), 75)
+		prog := func(wg, wave int) []Instr {
+			return []Instr{
+				MemAccess{Kind: mem.Load, Base: mem.Addr(wg*0x2000 + wave*0x100), Stride: 4, Lanes: 64},
+				WaitCnt{Max: 0},
+				Compute{VectorOps: 64, Cycles: 3},
+				MemAccess{Kind: mem.Store, Base: mem.Addr(0x80000 + wg*0x2000 + wave*0x100), Stride: 4, Lanes: 64},
+			}
+		}
+		g.RunWorkload([]Kernel{simpleKernel("det", 20, 4, prog)}, nil)
+		end := sim.Run()
+		return g.Stats.MemRequests, end
+	}
+	r1, e1 := runOnce()
+	r2, e2 := runOnce()
+	if r1 != r2 || e1 != e2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", r1, e1, r2, e2)
+	}
+}
+
+func TestBadKernelPanics(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("malformed kernel did not panic")
+		}
+	}()
+	g.RunWorkload([]Kernel{{Name: "bad", Workgroups: 1, WavesPerWG: 0}}, nil)
+	sim.Run()
+}

@@ -1,0 +1,170 @@
+// Package gpu models the GPU side of the simulated APU: compute units
+// with SIMD pipelines, wavefront contexts, a memory coalescer, LDS, and
+// workgroup dispatch. The CU pipeline follows the paper's GCN3-based
+// model: 4 SIMD units per CU, up to 10 wavefronts per SIMD, 64-wide
+// wavefronts, single-cycle instruction issue (Table 1).
+//
+// Wavefronts execute instruction streams produced by workload generators
+// (internal/workloads). Memory dependencies use GCN-style wait counts:
+// vector memory instructions are non-blocking, and an explicit WaitCnt
+// instruction stalls the wavefront until its outstanding line-request
+// count drops to the given bound — exactly how s_waitcnt schedules memory
+// latency hiding on real GCN hardware.
+package gpu
+
+import (
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// Instr is one wavefront instruction. The concrete types are Compute,
+// MemAccess, LDS, WaitCnt and Barrier.
+type Instr interface{ isInstr() }
+
+// Compute models a run of vector ALU instructions.
+type Compute struct {
+	// VectorOps is the number of lane operations performed, counted
+	// toward GVOPS (Figure 4).
+	VectorOps uint64
+	// Cycles is how long the wavefront occupies its SIMD slot.
+	Cycles event.Cycle
+}
+
+func (Compute) isInstr() {}
+
+// MemAccess models one vector memory instruction. Per-lane addresses are
+// Base + lane*Stride, each ElemBytes wide; the coalescer reduces them to
+// unique line requests.
+type MemAccess struct {
+	// PC identifies the static instruction for the PC-based predictor.
+	PC uint64
+	// Kind is Load or Store.
+	Kind mem.Kind
+	// Base is the address accessed by lane 0.
+	Base mem.Addr
+	// Stride is the byte distance between consecutive lanes' addresses.
+	// Zero models a broadcast (all lanes read the same element).
+	Stride int64
+	// Lanes is the number of active lanes (≤ the wavefront width).
+	Lanes int
+	// ElemBytes is the per-lane access size (4 for float32, 8 for
+	// float64). Zero defaults to 4.
+	ElemBytes int
+}
+
+func (MemAccess) isInstr() {}
+
+// Lines returns the unique cache lines the access touches, in lane order.
+func (a MemAccess) Lines() []mem.Addr {
+	eb := a.ElemBytes
+	if eb == 0 {
+		eb = 4
+	}
+	lanes := a.Lanes
+	if lanes <= 0 {
+		lanes = 1
+	}
+	var out []mem.Addr
+	var last mem.Addr
+	haveLast := false
+	for i := 0; i < lanes; i++ {
+		addr := mem.Addr(int64(a.Base) + int64(i)*a.Stride)
+		first := mem.LineAddr(addr)
+		lastB := mem.LineAddr(addr + mem.Addr(eb) - 1)
+		for la := first; la <= lastB; la += mem.LineSize {
+			if haveLast && la == last {
+				continue
+			}
+			// For non-monotonic strides, fall back to a scan of
+			// lines already collected.
+			dup := false
+			if a.Stride < 0 {
+				for _, prev := range out {
+					if prev == la {
+						dup = true
+						break
+					}
+				}
+			}
+			if !dup {
+				out = append(out, la)
+				last = la
+				haveLast = true
+			}
+		}
+	}
+	return out
+}
+
+// LDS models local-data-share (scratchpad) traffic: it occupies the
+// wavefront without touching the memory hierarchy, which is how MI GEMM
+// kernels keep most of their reuse out of the caches.
+type LDS struct {
+	Cycles event.Cycle
+}
+
+func (LDS) isInstr() {}
+
+// WaitCnt blocks the wavefront until its outstanding line requests drop
+// to Max or fewer (GCN s_waitcnt).
+type WaitCnt struct {
+	Max int
+}
+
+func (WaitCnt) isInstr() {}
+
+// Barrier synchronizes all wavefronts of a workgroup (GCN s_barrier).
+type Barrier struct{}
+
+func (Barrier) isInstr() {}
+
+// Program supplies a wavefront's instruction stream one instruction at a
+// time, so large kernels never materialize full instruction slices.
+type Program interface {
+	// Next returns the next instruction, or ok=false at the end.
+	Next() (ins Instr, ok bool)
+}
+
+// SliceProgram adapts a fixed instruction slice to Program.
+type SliceProgram struct {
+	instrs []Instr
+	pos    int
+}
+
+// NewSliceProgram copies instrs into a Program.
+func NewSliceProgram(instrs []Instr) *SliceProgram {
+	return &SliceProgram{instrs: instrs}
+}
+
+// Next implements Program.
+func (p *SliceProgram) Next() (Instr, bool) {
+	if p.pos >= len(p.instrs) {
+		return nil, false
+	}
+	ins := p.instrs[p.pos]
+	p.pos++
+	return ins, true
+}
+
+// FuncProgram adapts a generator function to Program; the function
+// returns ok=false at stream end.
+type FuncProgram func() (Instr, bool)
+
+// Next implements Program.
+func (f FuncProgram) Next() (Instr, bool) { return f() }
+
+// Kernel describes one GPU kernel launch.
+type Kernel struct {
+	// Name labels the kernel in statistics and traces.
+	Name string
+	// Workgroups is the grid size in workgroups.
+	Workgroups int
+	// WavesPerWG is the number of wavefronts per workgroup.
+	WavesPerWG int
+	// NewProgram builds the instruction stream for one wavefront.
+	NewProgram func(wg, wave int) Program
+	// SystemSync marks a kernel whose completion is a system-scope
+	// synchronization point: the coherence layer flushes all dirty L2
+	// data afterward (in addition to the usual self-invalidation).
+	SystemSync bool
+}

@@ -1,0 +1,102 @@
+// Package mem defines the memory request vocabulary shared by every level
+// of the simulated memory hierarchy: addresses, cache-line arithmetic,
+// access kinds, and the Request type that flows from the GPU coalescer
+// through the caches to DRAM.
+package mem
+
+import "fmt"
+
+// Addr is a byte address in the unified CPU-GPU address space.
+type Addr uint64
+
+// LineSize is the cache line size in bytes at every level (Table 1: 64 B).
+const LineSize = 64
+
+// LineShift is log2(LineSize).
+const LineShift = 6
+
+// LineAddr returns the line-aligned address containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// LineIndex returns the line number of a (address divided by the line size).
+func LineIndex(a Addr) uint64 { return uint64(a) >> LineShift }
+
+// Kind distinguishes load and store requests.
+type Kind uint8
+
+const (
+	// Load is a read request.
+	Load Kind = iota
+	// Store is a write request.
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", k)
+	}
+}
+
+// Request is one line-granularity memory request. The GPU coalescer emits
+// one Request per unique line touched by a wavefront memory instruction.
+type Request struct {
+	// ID is unique per request within a run; used for deterministic
+	// bookkeeping and debugging.
+	ID uint64
+	// PC identifies the static memory instruction that issued the
+	// request. The PC-based bypass predictor indexes on it.
+	PC uint64
+	// Line is the line-aligned target address.
+	Line Addr
+	// Kind is Load or Store.
+	Kind Kind
+	// CU is the issuing compute unit (selects the L1).
+	CU int
+	// Wavefront is the issuing wavefront's global id.
+	Wavefront int
+	// Bypass marks a request that must not allocate in GPU caches.
+	// The policy layer sets it for Uncached traffic, store traffic
+	// under CacheR, L1 store traffic under CacheRW, allocation-bypass
+	// conversions, and PC-predictor bypass decisions.
+	Bypass bool
+	// Done is invoked exactly once when the request's data returns to
+	// (loads) or is accepted on behalf of (stores) the issuing wavefront.
+	Done func()
+}
+
+// Validate performs basic structural checks, returning a descriptive error
+// for malformed requests. Components call it in debug paths and tests.
+func (r *Request) Validate() error {
+	if r.Line != LineAddr(r.Line) {
+		return fmt.Errorf("mem: request %d line %#x is not line-aligned", r.ID, uint64(r.Line))
+	}
+	if r.Kind != Load && r.Kind != Store {
+		return fmt.Errorf("mem: request %d has invalid kind %d", r.ID, r.Kind)
+	}
+	if r.CU < 0 {
+		return fmt.Errorf("mem: request %d has negative CU %d", r.ID, r.CU)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer for debugging output.
+func (r *Request) String() string {
+	by := ""
+	if r.Bypass {
+		by = " bypass"
+	}
+	return fmt.Sprintf("req#%d %s line=%#x pc=%#x cu=%d wf=%d%s",
+		r.ID, r.Kind, uint64(r.Line), r.PC, r.CU, r.Wavefront, by)
+}
+
+// IDSource hands out unique request IDs. The zero value is ready to use.
+type IDSource struct{ next uint64 }
+
+// Next returns a fresh request id.
+func (s *IDSource) Next() uint64 { s.next++; return s.next }

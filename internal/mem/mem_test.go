@@ -1,0 +1,105 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddr(t *testing.T) {
+	cases := []struct {
+		in, want Addr
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 64},
+		{65, 64},
+		{127, 64},
+		{128, 128},
+		{0xdeadbeef, 0xdeadbec0},
+	}
+	for _, c := range cases {
+		if got := LineAddr(c.in); got != c.want {
+			t.Errorf("LineAddr(%#x) = %#x, want %#x", uint64(c.in), uint64(got), uint64(c.want))
+		}
+	}
+}
+
+func TestLineIndex(t *testing.T) {
+	if LineIndex(0) != 0 || LineIndex(63) != 0 || LineIndex(64) != 1 || LineIndex(640) != 10 {
+		t.Fatal("LineIndex arithmetic wrong")
+	}
+}
+
+// Property: LineAddr is idempotent, aligned, and never exceeds its input.
+func TestPropertyLineAddr(t *testing.T) {
+	f := func(a uint64) bool {
+		la := LineAddr(Addr(a))
+		return la == LineAddr(la) && uint64(la)%LineSize == 0 && la <= Addr(a) && Addr(a)-la < LineSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	ok := Request{ID: 1, Line: 128, Kind: Load}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	misaligned := Request{ID: 2, Line: 100, Kind: Load}
+	if err := misaligned.Validate(); err == nil {
+		t.Fatal("misaligned line accepted")
+	}
+	badKind := Request{ID: 3, Line: 64, Kind: Kind(7)}
+	if err := badKind.Validate(); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+	badCU := Request{ID: 4, Line: 64, Kind: Store, CU: -1}
+	if err := badCU.Validate(); err == nil {
+		t.Fatal("negative CU accepted")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{ID: 5, Line: 0x1000, Kind: Store, CU: 3, Wavefront: 11, Bypass: true}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	for _, sub := range []string{"store", "bypass", "cu=3"} {
+		if !contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIDSourceUnique(t *testing.T) {
+	var src IDSource
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := src.Next()
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}

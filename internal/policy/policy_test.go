@@ -1,0 +1,243 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestPredictorColdCaches(t *testing.T) {
+	p := NewPCPredictor(DefaultPredictorConfig())
+	if p.ShouldBypass(0x400, mem.Load) {
+		t.Fatal("cold predictor must favor caching")
+	}
+}
+
+func TestPredictorLearnsDeadPC(t *testing.T) {
+	p := NewPCPredictor(DefaultPredictorConfig())
+	const pc = 0x1234
+	for i := 0; i < 10; i++ {
+		p.OnEvict(pc, false)
+	}
+	if !p.ShouldBypass(pc, mem.Load) {
+		t.Fatal("predictor failed to learn a streaming PC")
+	}
+}
+
+func TestPredictorLearnsReusePC(t *testing.T) {
+	p := NewPCPredictor(DefaultPredictorConfig())
+	const pc = 0x5678
+	for i := 0; i < 10; i++ {
+		p.OnEvict(pc, false)
+	}
+	for i := 0; i < 10; i++ {
+		p.OnHit(pc)
+	}
+	if p.ShouldBypass(pc, mem.Load) {
+		t.Fatal("predictor failed to recover after observing reuse")
+	}
+}
+
+func TestPredictorReusedEvictionIsPositive(t *testing.T) {
+	p := NewPCPredictor(DefaultPredictorConfig())
+	const pc = 0x42
+	for i := 0; i < 3; i++ {
+		p.OnEvict(pc, false)
+	}
+	for i := 0; i < 5; i++ {
+		p.OnEvict(pc, true)
+	}
+	if p.ShouldBypass(pc, mem.Load) {
+		t.Fatal("reused evictions must count as reuse evidence")
+	}
+}
+
+func TestPredictorCountersSaturate(t *testing.T) {
+	cfg := DefaultPredictorConfig()
+	p := NewPCPredictor(cfg)
+	const pc = 7
+	for i := 0; i < 100; i++ {
+		p.OnHit(pc)
+	}
+	if p.Counter(pc) != cfg.Max {
+		t.Fatalf("counter = %d, want saturated %d", p.Counter(pc), cfg.Max)
+	}
+	for i := 0; i < 100; i++ {
+		p.OnEvict(pc, false)
+	}
+	if p.Counter(pc) != 0 {
+		t.Fatalf("counter = %d, want floor 0", p.Counter(pc))
+	}
+}
+
+func TestPredictorStats(t *testing.T) {
+	p := NewPCPredictor(DefaultPredictorConfig())
+	p.OnEvict(1, false)
+	p.OnEvict(1, false)
+	p.OnEvict(1, false)
+	p.ShouldBypass(1, mem.Load)
+	p.ShouldBypass(2, mem.Load)
+	if p.Lookups != 2 {
+		t.Fatalf("lookups = %d", p.Lookups)
+	}
+	if p.BypassHints != 1 {
+		t.Fatalf("bypass hints = %d", p.BypassHints)
+	}
+}
+
+func TestPredictorBadConfigPanics(t *testing.T) {
+	bad := []PredictorConfig{
+		{Entries: 0, Max: 7, Threshold: 2, Initial: 3},
+		{Entries: 3, Max: 7, Threshold: 2, Initial: 3},
+		{Entries: 8, Max: 0, Threshold: 0, Initial: 0},
+		{Entries: 8, Max: 7, Threshold: 8, Initial: 3},
+		{Entries: 8, Max: 7, Threshold: 2, Initial: 9},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d accepted", i)
+				}
+			}()
+			NewPCPredictor(cfg)
+		}()
+	}
+}
+
+// Property: counters stay within [0, Max] for any operation sequence.
+func TestPropertyPredictorBounds(t *testing.T) {
+	cfg := DefaultPredictorConfig()
+	f := func(ops []bool, pcs []uint8) bool {
+		p := NewPCPredictor(cfg)
+		for i, op := range ops {
+			pc := uint64(0)
+			if i < len(pcs) {
+				pc = uint64(pcs[i])
+			}
+			if op {
+				p.OnHit(pc)
+			} else {
+				p.OnEvict(pc, i%3 == 0)
+			}
+			c := p.Counter(pc)
+			if c < 0 || c > cfg.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rowOf64 groups 4 consecutive lines per row for tests.
+func rowOf64(a mem.Addr) uint64 { return uint64(a) >> 8 }
+
+func TestRinserTracksRowMates(t *testing.T) {
+	r := NewRowRinser(rowOf64, 16)
+	r.OnDirty(0x000)
+	r.OnDirty(0x040)
+	r.OnDirty(0x080)
+	r.OnDirty(0x100) // next row
+	mates := r.RowMates(0x000)
+	if len(mates) != 2 {
+		t.Fatalf("mates = %v, want 2 entries", mates)
+	}
+	for _, m := range mates {
+		if m != 0x040 && m != 0x080 {
+			t.Fatalf("unexpected mate %#x", uint64(m))
+		}
+	}
+}
+
+func TestRinserCleanRemoves(t *testing.T) {
+	r := NewRowRinser(rowOf64, 16)
+	r.OnDirty(0x000)
+	r.OnDirty(0x040)
+	r.OnClean(0x040)
+	if got := r.RowMates(0x000); len(got) != 0 {
+		t.Fatalf("mates after clean = %v", got)
+	}
+	r.OnClean(0x000)
+	if r.TrackedRows() != 0 {
+		t.Fatalf("tracked rows = %d, want 0", r.TrackedRows())
+	}
+}
+
+func TestRinserDuplicateDirtyIgnored(t *testing.T) {
+	r := NewRowRinser(rowOf64, 16)
+	r.OnDirty(0x40)
+	r.OnDirty(0x40)
+	if got := r.RowMates(0x00); len(got) != 1 {
+		t.Fatalf("mates = %v, want exactly one 0x40", got)
+	}
+}
+
+func TestRinserCleanUnknownIsNoop(t *testing.T) {
+	r := NewRowRinser(rowOf64, 16)
+	r.OnClean(0x999)
+	if r.TrackedRows() != 0 {
+		t.Fatal("phantom row appeared")
+	}
+}
+
+func TestRinserCapacityForgetsOldest(t *testing.T) {
+	r := NewRowRinser(rowOf64, 2)
+	r.OnDirty(0x000) // row 0
+	r.OnDirty(0x100) // row 1
+	r.OnDirty(0x200) // row 2 → evicts row 0
+	if r.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", r.Evictions)
+	}
+	if got := r.RowMates(0x040); len(got) != 0 {
+		t.Fatalf("forgotten row still tracked: %v", got)
+	}
+	if got := r.RowMates(0x140); len(got) != 1 {
+		t.Fatalf("young row lost: %v", got)
+	}
+}
+
+func TestRinserPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil rowOf accepted")
+		}
+	}()
+	NewRowRinser(nil, 4)
+}
+
+// Property: after any dirty/clean sequence, RowMates never returns the
+// queried line itself and never returns cleaned lines.
+func TestPropertyRinserConsistency(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRowRinser(rowOf64, 8)
+		dirty := map[mem.Addr]bool{}
+		for _, op := range ops {
+			line := mem.Addr(op&0x1f) * 64
+			if op&0x80 != 0 {
+				r.OnDirty(line)
+				dirty[line] = true
+			} else {
+				r.OnClean(line)
+				delete(dirty, line)
+			}
+		}
+		for l := range dirty {
+			for _, m := range r.RowMates(l) {
+				if m == l {
+					return false
+				}
+				if !dirty[m] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package policy implements the paper's three caching optimizations in
+// reusable form: the PC-based bypass predictor (CacheRW-PCby, after
+// Tian et al. [54]), the dirty-block-index row rinser (CacheRW-CR, after
+// Seshadri et al. [58]), and helpers for allocation bypassing (CacheRW-AB,
+// implemented inside internal/cache and configured from here).
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// PCPredictor predicts, per static memory instruction, whether lines it
+// allocates will see reuse. Instructions with a history of dead (never
+// reused) allocations are bypassed at the L2, avoiding caching overheads
+// for streaming traffic while preserving reuse-friendly traffic.
+//
+// The predictor keeps a table of saturating counters indexed by a PC
+// hash. Hits and reused evictions increment; dead evictions decrement.
+// A PC whose counter falls below the bypass threshold is predicted
+// non-reusing.
+type PCPredictor struct {
+	table     []int8
+	mask      uint64
+	max       int8
+	threshold int8
+
+	// Lookups, BypassHints count predictor queries and bypass answers.
+	Lookups, BypassHints uint64
+}
+
+// PredictorConfig parameterizes a PCPredictor.
+type PredictorConfig struct {
+	// Entries is the table size; must be a power of two.
+	Entries int
+	// Max is the saturating counter ceiling (e.g. 7).
+	Max int8
+	// Threshold is the bypass boundary: counters strictly below it
+	// predict bypass.
+	Threshold int8
+	// Initial seeds counters, biasing the cold predictor toward
+	// caching (so reuse has a chance to be observed).
+	Initial int8
+}
+
+// DefaultPredictorConfig mirrors the adaptive-bypass setup of [54]:
+// a small table of 3-bit counters biased toward caching.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{Entries: 512, Max: 7, Threshold: 2, Initial: 3}
+}
+
+// NewPCPredictor builds a predictor. It panics on invalid geometry.
+func NewPCPredictor(cfg PredictorConfig) *PCPredictor {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		panic(fmt.Sprintf("policy: predictor entries must be a positive power of two, got %d", cfg.Entries))
+	}
+	if cfg.Max <= 0 || cfg.Threshold < 0 || cfg.Threshold > cfg.Max || cfg.Initial < 0 || cfg.Initial > cfg.Max {
+		panic(fmt.Sprintf("policy: inconsistent predictor config %+v", cfg))
+	}
+	p := &PCPredictor{
+		table:     make([]int8, cfg.Entries),
+		mask:      uint64(cfg.Entries - 1),
+		max:       cfg.Max,
+		threshold: cfg.Threshold,
+	}
+	for i := range p.table {
+		p.table[i] = cfg.Initial
+	}
+	return p
+}
+
+func (p *PCPredictor) idx(pc uint64) uint64 {
+	// Mix the PC so nearby instruction addresses spread over the table.
+	pc ^= pc >> 7
+	pc *= 0x9e3779b97f4a7c15
+	pc ^= pc >> 23
+	return pc & p.mask
+}
+
+// ShouldBypass implements cache.Predictor.
+func (p *PCPredictor) ShouldBypass(pc uint64, kind mem.Kind) bool {
+	p.Lookups++
+	if p.table[p.idx(pc)] < p.threshold {
+		p.BypassHints++
+		return true
+	}
+	return false
+}
+
+// OnHit implements cache.Predictor: resident-line reuse is positive
+// evidence for the allocating PC.
+func (p *PCPredictor) OnHit(pc uint64) {
+	i := p.idx(pc)
+	if p.table[i] < p.max {
+		p.table[i]++
+	}
+}
+
+// OnEvict implements cache.Predictor: an eviction without reuse is a dead
+// allocation and counts against the PC.
+func (p *PCPredictor) OnEvict(pc uint64, reused bool) {
+	i := p.idx(pc)
+	if reused {
+		if p.table[i] < p.max {
+			p.table[i]++
+		}
+		return
+	}
+	if p.table[i] > 0 {
+		p.table[i]--
+	}
+}
+
+// Counter exposes the current counter for a PC (tests, harness dumps).
+func (p *PCPredictor) Counter(pc uint64) int8 { return p.table[p.idx(pc)] }

@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// RowRinser is the dirty-block index (DBI) behind row-locality-aware
+// cache rinsing: it tracks which dirty L2 lines map to each DRAM row so
+// that, when one dirty line of a row is evicted, the rest can be written
+// back in the same burst and land as row hits at the memory controller.
+//
+// The index has bounded capacity like the hardware structure in [58];
+// when full it forgets the least-recently-dirtied row, which only costs
+// rinse opportunities, never correctness.
+type RowRinser struct {
+	rowOf   func(mem.Addr) uint64
+	maxRows int
+
+	rows  map[uint64][]mem.Addr
+	order []uint64 // FIFO of tracked rows for capacity eviction
+
+	// TrackedRows is exposed for tests and diagnostics.
+	Evictions uint64
+}
+
+// NewRowRinser builds a rinser. rowOf maps a line address to its DRAM row
+// id (dram.Config.RowID). maxRows bounds the number of rows tracked.
+func NewRowRinser(rowOf func(mem.Addr) uint64, maxRows int) *RowRinser {
+	if rowOf == nil {
+		panic("policy: rinser needs a row-mapping function")
+	}
+	if maxRows <= 0 {
+		panic(fmt.Sprintf("policy: rinser maxRows must be positive, got %d", maxRows))
+	}
+	return &RowRinser{
+		rowOf:   rowOf,
+		maxRows: maxRows,
+		rows:    make(map[uint64][]mem.Addr),
+	}
+}
+
+// OnDirty implements cache.Rinser: records a newly dirty line.
+func (r *RowRinser) OnDirty(line mem.Addr) {
+	row := r.rowOf(line)
+	lines, ok := r.rows[row]
+	if !ok {
+		if len(r.order) >= r.maxRows {
+			// Forget the oldest tracked row.
+			old := r.order[0]
+			r.order = r.order[1:]
+			delete(r.rows, old)
+			r.Evictions++
+		}
+		r.order = append(r.order, row)
+	}
+	for _, l := range lines {
+		if l == line {
+			return
+		}
+	}
+	r.rows[row] = append(lines, line)
+}
+
+// OnClean implements cache.Rinser: removes a line that was written back
+// or invalidated.
+func (r *RowRinser) OnClean(line mem.Addr) {
+	row := r.rowOf(line)
+	lines, ok := r.rows[row]
+	if !ok {
+		return
+	}
+	for i, l := range lines {
+		if l == line {
+			lines = append(lines[:i], lines[i+1:]...)
+			break
+		}
+	}
+	if len(lines) == 0 {
+		delete(r.rows, row)
+		for i, id := range r.order {
+			if id == row {
+				r.order = append(r.order[:i], r.order[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	r.rows[row] = lines
+}
+
+// RowMates implements cache.Rinser: the other dirty lines in line's row.
+func (r *RowRinser) RowMates(line mem.Addr) []mem.Addr {
+	row := r.rowOf(line)
+	lines := r.rows[row]
+	out := make([]mem.Addr, 0, len(lines))
+	for _, l := range lines {
+		if l != line {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TrackedRows reports how many rows currently have dirty lines.
+func (r *RowRinser) TrackedRows() int { return len(r.rows) }

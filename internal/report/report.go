@@ -1,0 +1,216 @@
+// Package report renders the paper's tables and figures from simulation
+// results: aligned text tables, CSV, and the per-figure extraction logic
+// (normalizations, StaticBest/StaticWorst selection) of Sections VI–VII.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// CSV writes rows as comma-separated values (cells must not contain
+// commas; the harness emits only identifiers and numbers).
+func CSV(w io.Writer, headers []string, rows [][]string) {
+	fmt.Fprintln(w, strings.Join(headers, ","))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// FigureSpec describes one reproducible figure: its identifying number,
+// caption, the variants (columns) it reports, and the metric extractor.
+type FigureSpec struct {
+	Number  int
+	Caption string
+	// Columns are variant labels, or pseudo-labels StaticBest /
+	// StaticWorst for Figures 10–13.
+	Columns []string
+	// Value extracts the cell for (workload, column).
+	Value func(m *core.Matrix, workload, column string) float64
+	// Format renders a cell value.
+	Format func(v float64) string
+}
+
+// resolve maps pseudo-columns to concrete variants for a workload.
+func resolve(m *core.Matrix, workload, column string) core.Result {
+	switch column {
+	case "StaticBest":
+		_, r := m.StaticBest(workload)
+		return r
+	case "StaticWorst":
+		_, r := m.StaticWorst(workload)
+		return r
+	default:
+		return m.MustGet(workload, column)
+	}
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+
+// staticCols are the Section VI columns.
+var staticCols = []string{"Uncached", "CacheR", "CacheRW"}
+
+// optCols are the Section VII columns.
+var optCols = []string{"StaticBest", "StaticWorst", "CacheRW-AB", "CacheRW-CR", "CacheRW-PCby"}
+
+// Figures returns the specification of every reproduced figure, keyed by
+// figure number (4–13). clockMHz converts cycles to bandwidth figures.
+func Figures(clockMHz float64) map[int]FigureSpec {
+	return map[int]FigureSpec{
+		4: {
+			Number:  4,
+			Caption: "Giga vector ops per second with CacheR policy",
+			Columns: []string{"CacheR"},
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				return resolve(m, wl, col).Snap.GVOPS(clockMHz)
+			},
+			Format: f0,
+		},
+		5: {
+			Number:  5,
+			Caption: "Giga memory requests per second with CacheR policy",
+			Columns: []string{"CacheR"},
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				return resolve(m, wl, col).Snap.GMRs(clockMHz)
+			},
+			Format: f2,
+		},
+		6: {
+			Number:  6,
+			Caption: "Execution time per cache policy, normalized to Uncached",
+			Columns: staticCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				base := m.MustGet(wl, "Uncached").Snap.Cycles
+				return float64(resolve(m, wl, col).Snap.Cycles) / float64(base)
+			},
+			Format: f3,
+		},
+		7: {
+			Number:  7,
+			Caption: "GPU memory requests reaching DRAM, normalized to Uncached",
+			Columns: staticCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				base := m.MustGet(wl, "Uncached").Snap.DRAM.Accesses()
+				return float64(resolve(m, wl, col).Snap.DRAM.Accesses()) / float64(base)
+			},
+			Format: pct,
+		},
+		8: {
+			Number:  8,
+			Caption: "Cache stalls per GPU memory request (log scale in the paper)",
+			Columns: staticCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				return resolve(m, wl, col).Snap.StallsPerRequest()
+			},
+			Format: f3,
+		},
+		9: {
+			Number:  9,
+			Caption: "DRAM row buffer hit ratio",
+			Columns: staticCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				return resolve(m, wl, col).Snap.DRAM.RowHitRate()
+			},
+			Format: pct,
+		},
+		10: {
+			Number:  10,
+			Caption: "Execution time with optimizations, normalized to StaticBest",
+			Columns: optCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				_, best := m.StaticBest(wl)
+				return float64(resolve(m, wl, col).Snap.Cycles) / float64(best.Snap.Cycles)
+			},
+			Format: f3,
+		},
+		11: {
+			Number:  11,
+			Caption: "DRAM requests with optimizations, normalized to Uncached",
+			Columns: optCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				base := m.MustGet(wl, "Uncached").Snap.DRAM.Accesses()
+				return float64(resolve(m, wl, col).Snap.DRAM.Accesses()) / float64(base)
+			},
+			Format: pct,
+		},
+		12: {
+			Number:  12,
+			Caption: "Cache stalls per memory request with optimizations (log scale in the paper)",
+			Columns: optCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				return resolve(m, wl, col).Snap.StallsPerRequest()
+			},
+			Format: f3,
+		},
+		13: {
+			Number:  13,
+			Caption: "DRAM row hit ratio with optimizations",
+			Columns: optCols,
+			Value: func(m *core.Matrix, wl, col string) float64 {
+				return resolve(m, wl, col).Snap.DRAM.RowHitRate()
+			},
+			Format: pct,
+		},
+	}
+}
+
+// RenderFigure writes one figure as a table (or CSV).
+func RenderFigure(w io.Writer, fig FigureSpec, m *core.Matrix, asCSV bool) {
+	headers := append([]string{"Workload"}, fig.Columns...)
+	var rows [][]string
+	for _, wl := range m.Workloads() {
+		row := []string{wl}
+		for _, col := range fig.Columns {
+			row = append(row, fig.Format(fig.Value(m, wl, col)))
+		}
+		rows = append(rows, row)
+	}
+	title := fmt.Sprintf("Figure %d: %s", fig.Number, fig.Caption)
+	if asCSV {
+		fmt.Fprintf(w, "# %s\n", title)
+		CSV(w, headers, rows)
+		return
+	}
+	Table(w, title, headers, rows)
+	fmt.Fprintln(w)
+}

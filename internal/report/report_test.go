@@ -1,0 +1,157 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func fakeResults() []core.Result {
+	mk := func(wl, v string, cycles, dram uint64, stalls uint64, rowHits, rowTotal uint64) core.Result {
+		return core.Result{
+			Workload: wl, Variant: v,
+			Snap: stats.Snapshot{
+				Cycles:         cycles,
+				VectorOps:      cycles * 10,
+				GPUMemRequests: 1000,
+				L1:             stats.CacheStats{Stalls: stalls},
+				DRAM: stats.DRAMStats{
+					Reads:     dram,
+					RowHits:   rowHits,
+					RowMisses: rowTotal - rowHits,
+				},
+			},
+		}
+	}
+	var rs []core.Result
+	for _, wl := range []string{"WL1", "WL2"} {
+		rs = append(rs,
+			mk(wl, "Uncached", 1000, 500, 10, 400, 500),
+			mk(wl, "CacheR", 800, 250, 200, 150, 250),
+			mk(wl, "CacheRW", 900, 200, 300, 100, 200),
+			mk(wl, "CacheRW-AB", 820, 210, 50, 120, 210),
+			mk(wl, "CacheRW-CR", 790, 205, 40, 180, 205),
+			mk(wl, "CacheRW-PCby", 780, 207, 20, 185, 207),
+		)
+	}
+	return rs
+}
+
+func TestTableFormatting(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, "Title", []string{"A", "BBB"}, [][]string{{"x", "1"}, {"yy", "22"}})
+	out := sb.String()
+	for _, want := range []string{"Title", "A", "BBB", "---", "yy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVFormatting(t *testing.T) {
+	var sb strings.Builder
+	CSV(&sb, []string{"a", "b"}, [][]string{{"1", "2"}})
+	if sb.String() != "a,b\n1,2\n" {
+		t.Fatalf("CSV = %q", sb.String())
+	}
+}
+
+func TestFiguresCoverAllTen(t *testing.T) {
+	figs := Figures(1600)
+	for n := 4; n <= 13; n++ {
+		f, ok := figs[n]
+		if !ok {
+			t.Fatalf("figure %d missing", n)
+		}
+		if f.Number != n || f.Caption == "" || len(f.Columns) == 0 {
+			t.Fatalf("figure %d malformed: %+v", n, f)
+		}
+	}
+}
+
+func TestRenderAllFiguresOnFakeData(t *testing.T) {
+	m := core.NewMatrix(fakeResults())
+	figs := Figures(1600)
+	for n := 4; n <= 13; n++ {
+		var sb strings.Builder
+		RenderFigure(&sb, figs[n], m, false)
+		out := sb.String()
+		if !strings.Contains(out, "WL1") || !strings.Contains(out, "WL2") {
+			t.Fatalf("figure %d missing workloads:\n%s", n, out)
+		}
+		sb.Reset()
+		RenderFigure(&sb, figs[n], m, true)
+		if !strings.Contains(sb.String(), "Workload,") {
+			t.Fatalf("figure %d CSV header missing", n)
+		}
+	}
+}
+
+func TestFigure6Normalization(t *testing.T) {
+	m := core.NewMatrix(fakeResults())
+	fig := Figures(1600)[6]
+	if v := fig.Value(m, "WL1", "Uncached"); v != 1.0 {
+		t.Fatalf("Uncached column must be 1.0, got %v", v)
+	}
+	if v := fig.Value(m, "WL1", "CacheR"); v != 0.8 {
+		t.Fatalf("CacheR = %v, want 0.8", v)
+	}
+}
+
+func TestFigure10UsesStaticBest(t *testing.T) {
+	m := core.NewMatrix(fakeResults())
+	fig := Figures(1600)[10]
+	// StaticBest is CacheR (800 cycles): its column must be 1.0.
+	if v := fig.Value(m, "WL1", "StaticBest"); v != 1.0 {
+		t.Fatalf("StaticBest = %v, want 1.0", v)
+	}
+	if v := fig.Value(m, "WL1", "StaticWorst"); v != 1000.0/800.0 {
+		t.Fatalf("StaticWorst = %v", v)
+	}
+	if v := fig.Value(m, "WL1", "CacheRW-PCby"); v != 780.0/800.0 {
+		t.Fatalf("PCby = %v", v)
+	}
+}
+
+func TestFigure9RowHitRate(t *testing.T) {
+	m := core.NewMatrix(fakeResults())
+	fig := Figures(1600)[9]
+	if v := fig.Value(m, "WL1", "Uncached"); v != 0.8 {
+		t.Fatalf("row hit = %v, want 0.8", v)
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	var sb strings.Builder
+	RenderTable1(&sb, core.DefaultConfig())
+	out := sb.String()
+	for _, want := range []string{"Table 1", "1600 MHz", "64", "HBM2", "50/125/225"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	RenderTable2(&sb, workloads.Scale(0.05))
+	out = sb.String()
+	for _, want := range []string{"Table 2", "FwAct", "DGEMM", "4/130", "6/363"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[uint64]string{
+		100:     "100 B",
+		2 << 10: "2.00 KB",
+		3 << 20: "3.00 MB",
+	}
+	for in, want := range cases {
+		if got := formatBytes(in); got != want {
+			t.Errorf("formatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// RenderTable1 writes the simulated system parameters (paper Table 1).
+func RenderTable1(w io.Writer, cfg core.Config) {
+	rows := [][]string{
+		{"GPU Clock", fmt.Sprintf("%.0f MHz", cfg.GPUClockMHz)},
+		{"# of CUs", fmt.Sprint(cfg.GPU.CUs)},
+		{"# SIMD units per CU", fmt.Sprint(cfg.GPU.SIMDsPerCU)},
+		{"Max # Wavefronts per SIMD unit", fmt.Sprint(cfg.GPU.MaxWavesPerSIMD)},
+		{"Wavefront width", fmt.Sprint(cfg.GPU.WavefrontWidth)},
+		{"GPU L1 D-cache per CU", fmt.Sprintf("%d KB, 64B line, %d-way write-through",
+			cfg.L1.SizeBytes>>10, cfg.L1.Ways)},
+		{"GPU L2 cache (shared)", fmt.Sprintf("%d MB, 64B line, %d-way, %d banks",
+			cfg.L2.SizeBytes>>20, cfg.L2.Ways, cfg.L2Banks)},
+		{"Main memory", fmt.Sprintf("HBM2, %d channels, %d banks/channel",
+			cfg.DRAM.Channels, cfg.DRAM.BanksPerChannel)},
+		{"DRAM row buffer", fmt.Sprintf("%d B per bank", cfg.DRAM.RowBytes)},
+		{"Approx. uncontested L1/L2/Memory latency",
+			fmt.Sprintf("%d/%d/%d cycles", l1Lat(cfg), l2Lat(cfg), memLat(cfg))},
+	}
+	Table(w, "Table 1: Key simulated system parameters", []string{"Parameter", "Value"}, rows)
+	fmt.Fprintln(w)
+}
+
+// l1Lat, l2Lat and memLat compute the uncontested load-to-use latencies
+// the configuration implies, for comparison with Table 1's 50/125/225.
+func l1Lat(cfg core.Config) int {
+	return int(cfg.L1.HitLatency)
+}
+
+func l2Lat(cfg core.Config) int {
+	return int(cfg.L1.LookupLatency + cfg.L2.HitLatency + cfg.L1.FillLatency)
+}
+
+func memLat(cfg core.Config) int {
+	d := cfg.DRAM
+	return int(cfg.L1.LookupLatency + cfg.L2.LookupLatency + cfg.DirectoryLatency +
+		d.TRCD + d.TCL + d.TBurst + d.FixedLatency +
+		cfg.L2.FillLatency + cfg.L1.FillLatency)
+}
+
+// RenderTable2 writes the studied workloads (paper Table 2), including
+// the model's scaled footprint next to the paper's.
+func RenderTable2(w io.Writer, scale workloads.Scale) {
+	headers := []string{"Application", "Suite", "Input", "Kernels (uniq/total)",
+		"Paper footprint", "Model footprint", "Class"}
+	var rows [][]string
+	for _, s := range workloads.All() {
+		built := s.Build(scale)
+		rows = append(rows, []string{
+			s.Name, s.Suite, s.PaperInput,
+			fmt.Sprintf("%d/%d", s.UniqueKernels, s.TotalKernels),
+			s.PaperFootprint,
+			formatBytes(built.FootprintBytes),
+			s.Class.String(),
+		})
+	}
+	Table(w, "Table 2: Studied MI workloads", headers, rows)
+	fmt.Fprintln(w)
+}
+
+// formatBytes renders a byte count in the unit Table 2 uses.
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

@@ -1,0 +1,157 @@
+// Package stats collects the counters every simulator component reports
+// and the per-run Snapshot the experiment harness consumes. Keeping all
+// statistics in one place makes figure generation a pure function of a
+// Snapshot.
+package stats
+
+import "fmt"
+
+// Snapshot aggregates every statistic the paper's figures need for one
+// simulated run (one workload under one cache configuration).
+type Snapshot struct {
+	// Cycles is the end-to-end execution time in GPU cycles.
+	Cycles uint64
+	// VectorOps is the total vector (SIMD lane) operations executed.
+	VectorOps uint64
+	// GPUMemRequests is the number of line requests issued by the GPU
+	// coalescer to the memory system (the denominator of Figure 8 and
+	// the numerator of Figure 5).
+	GPUMemRequests uint64
+
+	// L1, L2 are per-level cache statistics summed over all instances.
+	L1, L2 CacheStats
+
+	// DRAM is the memory controller's view.
+	DRAM DRAMStats
+
+	// Kernels is the number of kernels dispatched.
+	Kernels uint64
+	// FootprintBytes is the number of distinct bytes touched.
+	FootprintBytes uint64
+}
+
+// CacheStats counts events at one cache level.
+type CacheStats struct {
+	Hits        uint64 // requests served from a valid line
+	Misses      uint64 // requests that allocated and fetched
+	Bypasses    uint64 // requests that skipped this level
+	Coalesced   uint64 // requests merged into a pending MSHR or bypass entry
+	Stalls      uint64 // cycles a ready request was blocked from querying the cache
+	Writebacks  uint64 // dirty lines written toward memory
+	Rinses      uint64 // extra writebacks triggered by the dirty-block-index rinser
+	Invalidates uint64 // lines dropped by kernel-boundary self-invalidation
+	PredBypass  uint64 // requests bypassed by the PC predictor
+	AllocBypass uint64 // requests converted to bypass by allocation bypassing
+
+	// Stall attribution (cycles; the components sum to Stalls):
+	StallPort   uint64 // waiting for a tag-port slot
+	StallAlloc  uint64 // blocking allocation: every way in the set busy
+	StallMSHR   uint64 // all MSHRs in use
+	StallBypass uint64 // all bypass-coalescing entries in use
+	StallLine   uint64 // store waiting for its line's pending fill
+}
+
+// Accesses returns the total requests that consulted this level.
+func (c CacheStats) Accesses() uint64 { return c.Hits + c.Misses + c.Coalesced + c.Bypasses }
+
+// HitRate returns hits / (hits+misses), or 0 when the level was unused.
+func (c CacheStats) HitRate() float64 {
+	den := c.Hits + c.Misses
+	if den == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(den)
+}
+
+// Add accumulates other into c.
+func (c *CacheStats) Add(other CacheStats) {
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+	c.Bypasses += other.Bypasses
+	c.Coalesced += other.Coalesced
+	c.Stalls += other.Stalls
+	c.Writebacks += other.Writebacks
+	c.Rinses += other.Rinses
+	c.Invalidates += other.Invalidates
+	c.PredBypass += other.PredBypass
+	c.AllocBypass += other.AllocBypass
+	c.StallPort += other.StallPort
+	c.StallAlloc += other.StallAlloc
+	c.StallMSHR += other.StallMSHR
+	c.StallBypass += other.StallBypass
+	c.StallLine += other.StallLine
+}
+
+// DRAMStats counts memory-controller events.
+type DRAMStats struct {
+	Reads         uint64
+	Writes        uint64
+	RowHits       uint64
+	RowMisses     uint64 // row empty (activate only)
+	RowConflicts  uint64 // different row open (precharge+activate)
+	LoadRowHits   uint64
+	LoadRowTotal  uint64
+	StoreRowHits  uint64
+	StoreRowTotal uint64
+}
+
+// Accesses returns total DRAM accesses (the quantity of Figures 7 and 11).
+func (d DRAMStats) Accesses() uint64 { return d.Reads + d.Writes }
+
+// RowHitRate returns the fraction of accesses that hit an open row
+// (Figures 9 and 13).
+func (d DRAMStats) RowHitRate() float64 {
+	den := d.RowHits + d.RowMisses + d.RowConflicts
+	if den == 0 {
+		return 0
+	}
+	return float64(d.RowHits) / float64(den)
+}
+
+// Add accumulates other into d.
+func (d *DRAMStats) Add(other DRAMStats) {
+	d.Reads += other.Reads
+	d.Writes += other.Writes
+	d.RowHits += other.RowHits
+	d.RowMisses += other.RowMisses
+	d.RowConflicts += other.RowConflicts
+	d.LoadRowHits += other.LoadRowHits
+	d.LoadRowTotal += other.LoadRowTotal
+	d.StoreRowHits += other.StoreRowHits
+	d.StoreRowTotal += other.StoreRowTotal
+}
+
+// GVOPS returns giga vector operations per second given the GPU clock in
+// MHz (Figure 4).
+func (s Snapshot) GVOPS(clockMHz float64) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(s.Cycles) / (clockMHz * 1e6)
+	return float64(s.VectorOps) / seconds / 1e9
+}
+
+// GMRs returns giga GPU memory requests per second given the GPU clock in
+// MHz (Figure 5).
+func (s Snapshot) GMRs(clockMHz float64) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(s.Cycles) / (clockMHz * 1e6)
+	return float64(s.GPUMemRequests) / seconds / 1e9
+}
+
+// StallsPerRequest returns total GPU cache stalls divided by GPU memory
+// requests (Figures 8 and 12).
+func (s Snapshot) StallsPerRequest() float64 {
+	if s.GPUMemRequests == 0 {
+		return 0
+	}
+	return float64(s.L1.Stalls+s.L2.Stalls) / float64(s.GPUMemRequests)
+}
+
+// String gives a compact human-readable summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("cycles=%d vops=%d memreq=%d dram=%d rowhit=%.1f%% stalls/req=%.3f",
+		s.Cycles, s.VectorOps, s.GPUMemRequests, s.DRAM.Accesses(), 100*s.DRAM.RowHitRate(), s.StallsPerRequest())
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheStatsAccessesAndHitRate(t *testing.T) {
+	c := CacheStats{Hits: 30, Misses: 10, Bypasses: 5, Coalesced: 5}
+	if c.Accesses() != 50 {
+		t.Fatalf("Accesses = %d, want 50", c.Accesses())
+	}
+	if got := c.HitRate(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+	var zero CacheStats
+	if zero.HitRate() != 0 {
+		t.Fatal("zero-value HitRate should be 0")
+	}
+}
+
+func TestCacheStatsAdd(t *testing.T) {
+	a := CacheStats{Hits: 1, Misses: 2, Bypasses: 3, Coalesced: 4, Stalls: 5,
+		Writebacks: 6, Rinses: 7, Invalidates: 8, PredBypass: 9, AllocBypass: 10}
+	b := a
+	a.Add(b)
+	if a.Hits != 2 || a.Misses != 4 || a.Bypasses != 6 || a.Coalesced != 8 ||
+		a.Stalls != 10 || a.Writebacks != 12 || a.Rinses != 14 ||
+		a.Invalidates != 16 || a.PredBypass != 18 || a.AllocBypass != 20 {
+		t.Fatalf("Add missed a field: %+v", a)
+	}
+}
+
+func TestDRAMStats(t *testing.T) {
+	d := DRAMStats{Reads: 70, Writes: 30, RowHits: 60, RowMisses: 20, RowConflicts: 20}
+	if d.Accesses() != 100 {
+		t.Fatalf("Accesses = %d, want 100", d.Accesses())
+	}
+	if got := d.RowHitRate(); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("RowHitRate = %v, want 0.6", got)
+	}
+	var zero DRAMStats
+	if zero.RowHitRate() != 0 {
+		t.Fatal("zero-value RowHitRate should be 0")
+	}
+}
+
+func TestDRAMStatsAdd(t *testing.T) {
+	a := DRAMStats{Reads: 1, Writes: 2, RowHits: 3, RowMisses: 4, RowConflicts: 5,
+		LoadRowHits: 6, LoadRowTotal: 7, StoreRowHits: 8, StoreRowTotal: 9}
+	b := a
+	a.Add(b)
+	if a.Reads != 2 || a.Writes != 4 || a.RowHits != 6 || a.RowMisses != 8 ||
+		a.RowConflicts != 10 || a.LoadRowHits != 12 || a.LoadRowTotal != 14 ||
+		a.StoreRowHits != 16 || a.StoreRowTotal != 18 {
+		t.Fatalf("Add missed a field: %+v", a)
+	}
+}
+
+func TestGVOPSAndGMRs(t *testing.T) {
+	s := Snapshot{Cycles: 1600e6, VectorOps: 3200e9, GPUMemRequests: 16e9}
+	// 1600e6 cycles at 1600 MHz = 1 second.
+	if got := s.GVOPS(1600); math.Abs(got-3200) > 1e-6 {
+		t.Fatalf("GVOPS = %v, want 3200", got)
+	}
+	if got := s.GMRs(1600); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("GMRs = %v, want 16", got)
+	}
+	var zero Snapshot
+	if zero.GVOPS(1600) != 0 || zero.GMRs(1600) != 0 {
+		t.Fatal("zero-cycle snapshot should report 0 bandwidth")
+	}
+}
+
+func TestStallsPerRequest(t *testing.T) {
+	s := Snapshot{GPUMemRequests: 100, L1: CacheStats{Stalls: 40}, L2: CacheStats{Stalls: 10}}
+	if got := s.StallsPerRequest(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("StallsPerRequest = %v, want 0.5", got)
+	}
+	var zero Snapshot
+	if zero.StallsPerRequest() != 0 {
+		t.Fatal("zero-request snapshot should report 0")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{Cycles: 10, VectorOps: 20, GPUMemRequests: 2,
+		DRAM: DRAMStats{Reads: 1, RowHits: 1}}
+	str := s.String()
+	if !strings.Contains(str, "cycles=10") || !strings.Contains(str, "dram=1") {
+		t.Fatalf("String() = %q", str)
+	}
+}
+
+// Property: Add is commutative over the counted fields.
+func TestPropertyCacheAddCommutative(t *testing.T) {
+	f := func(h1, m1, h2, m2 uint32) bool {
+		a := CacheStats{Hits: uint64(h1), Misses: uint64(m1)}
+		b := CacheStats{Hits: uint64(h2), Misses: uint64(m2)}
+		x, y := a, b
+		x.Add(b)
+		y.Add(a)
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HitRate is always within [0,1].
+func TestPropertyHitRateBounded(t *testing.T) {
+	f := func(h, m uint32) bool {
+		c := CacheStats{Hits: uint64(h), Misses: uint64(m)}
+		r := c.HitRate()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

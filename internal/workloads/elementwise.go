@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"repro/internal/gpu"
+)
+
+// gridFor sizes a kernel grid: enough workgroups that every wave runs
+// about targetIters iterations over the chunk count.
+func gridFor(totalElems, wavesPerWG, targetIters int) int {
+	chunks := (totalElems + 63) / 64
+	wgs := chunks / (wavesPerWG * targetIters)
+	if wgs < 1 {
+		wgs = 1
+	}
+	return wgs
+}
+
+// --- Activation layers (DNNMark) ---
+//
+// Activations apply an elementwise function: one streaming load, trivial
+// compute, one streaming store, no reuse anywhere (Section II.A). They
+// are the paper's canonical throughput-sensitive workloads: caching buys
+// nothing and the added allocation blocking and row-locality disruption
+// cost up to ~24%.
+
+func specFwAct() Spec {
+	return Spec{
+		Name: "FwAct", Suite: "DNNMark", Class: ThroughputSensitive,
+		PaperFootprint: "1.6 GB", PaperInput: "Batch size 100",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			n := scaled(1_500_000, s, 64)
+			a := newAlloc()
+			x := a.buf(uint64(n) * 4)
+			y := a.buf(uint64(n) * 4)
+			k := chunkedKernel("FwAct", n, gridFor(n, 4, 10), 4, false,
+				func(base int) []gpu.Instr {
+					return []gpu.Instr{
+						loadAt(pcFor("FwAct.x", 0), x, base),
+						gpu.WaitCnt{Max: 0},
+						compute(1),
+						storeAt(pcFor("FwAct.y", 1), y, base),
+					}
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}
+
+func specBwAct() Spec {
+	return Spec{
+		Name: "BwAct", Suite: "DNNMark", Class: ThroughputSensitive,
+		PaperFootprint: "2.4 GB", PaperInput: "Batch size 100",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			n := scaled(1_100_000, s, 64)
+			a := newAlloc()
+			x := a.buf(uint64(n) * 4)
+			dy := a.buf(uint64(n) * 4)
+			dx := a.buf(uint64(n) * 4)
+			k := chunkedKernel("BwAct", n, gridFor(n, 4, 10), 4, false,
+				func(base int) []gpu.Instr {
+					return []gpu.Instr{
+						loadAt(pcFor("BwAct.dy", 0), dy, base),
+						loadAt(pcFor("BwAct.x", 1), x, base),
+						gpu.WaitCnt{Max: 0},
+						compute(1),
+						storeAt(pcFor("BwAct.dx", 2), dx, base),
+					}
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}
+
+// --- Local response normalization (DNNMark) ---
+//
+// FwLRN reads a window of neighbouring channel values per output. With
+// the channel-innermost layout MIOpen uses, the window loads of adjacent
+// outputs land in the same cache lines and coalesce whether or not
+// caching is enabled, so LRN behaves as pure streaming with somewhat more
+// compute than an activation — and is likewise throughput sensitive.
+
+func specFwLRN() Spec {
+	return Spec{
+		Name: "FwLRN", Suite: "DNNMark", Class: ThroughputSensitive,
+		PaperFootprint: "2.4 GB", PaperInput: "Batch size 100",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			n := scaled(1_000_000, s, 64)
+			a := newAlloc()
+			x := a.buf(uint64(n)*4 + 256)
+			scale := a.buf(uint64(n) * 4)
+			y := a.buf(uint64(n) * 4)
+			k := chunkedKernel("FwLRN", n, gridFor(n, 4, 10), 4, false,
+				func(base int) []gpu.Instr {
+					return []gpu.Instr{
+						// Window loads: the shifted load overlaps
+						// three of the four lines of the first and
+						// coalesces against it in flight.
+						loadAt(pcFor("FwLRN.x", 0), x, base),
+						loadAt(pcFor("FwLRN.xw", 1), x, base+16),
+						loadAt(pcFor("FwLRN.scale", 2), scale, base),
+						gpu.WaitCnt{Max: 0},
+						compute(4),
+						storeAt(pcFor("FwLRN.y", 3), y, base),
+					}
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}
+
+// --- Softmax layers (DNNMark) ---
+//
+// Softmax output layers touch a tiny footprint (Table 2: 0.01–0.02 MB —
+// it fits in a single L1) in several passes (max, exponent sum,
+// normalize). With caching the later passes hit; uncached, every pass
+// refetches from DRAM. These are reuse-sensitive workloads whose small
+// size also makes them latency bound.
+
+func specFwSoft() Spec {
+	return Spec{
+		Name: "FwSoft", Suite: "DNNMark", Class: ReuseSensitive,
+		PaperFootprint: "0.01 MB", PaperInput: "Batch size 512",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			n := scaled(2560, s, 64)
+			a := newAlloc()
+			x := a.buf(uint64(n) * 4)
+			y := a.buf(uint64(n) * 4)
+			k := chunkedKernel("FwSoft", n, (n+63)/64, 1, false,
+				func(base int) []gpu.Instr {
+					return []gpu.Instr{
+						loadAt(pcFor("FwSoft.max", 0), x, base),
+						gpu.WaitCnt{Max: 0},
+						compute(2),
+						loadAt(pcFor("FwSoft.sum", 1), x, base),
+						gpu.WaitCnt{Max: 0},
+						compute(2),
+						loadAt(pcFor("FwSoft.norm", 2), x, base),
+						gpu.WaitCnt{Max: 0},
+						compute(2),
+						storeAt(pcFor("FwSoft.y", 3), y, base),
+					}
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}
+
+func specBwSoft() Spec {
+	return Spec{
+		Name: "BwSoft", Suite: "DNNMark", Class: ReuseSensitive,
+		PaperFootprint: "0.02 MB", PaperInput: "Batch size 512",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			n := scaled(2560, s, 64)
+			a := newAlloc()
+			y := a.buf(uint64(n) * 4)
+			dy := a.buf(uint64(n) * 4)
+			dx := a.buf(uint64(n) * 4)
+			k := chunkedKernel("BwSoft", n, (n+63)/64, 1, false,
+				func(base int) []gpu.Instr {
+					return []gpu.Instr{
+						loadAt(pcFor("BwSoft.y", 0), y, base),
+						loadAt(pcFor("BwSoft.dy", 1), dy, base),
+						gpu.WaitCnt{Max: 0},
+						compute(2),
+						loadAt(pcFor("BwSoft.y2", 2), y, base),
+						gpu.WaitCnt{Max: 0},
+						compute(2),
+						storeAt(pcFor("BwSoft.dx", 3), dx, base),
+					}
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}

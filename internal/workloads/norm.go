@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// --- Batch normalization layers (DNNMark) ---
+//
+// Batch norm is a multi-pass computation: statistics over the input
+// (mean, then variance), then a normalize pass. The passes re-read the
+// same data at a reuse distance of a whole per-wave chunk — far too long
+// for bypass coalescing but well within the shared L2 — making BN the
+// paper's canonical reuse-sensitive normalization layer. The backward
+// pass additionally accumulates per-channel gradient partial sums, whose
+// repeated stores to the same lines are exactly what L2 write combining
+// (CacheRW) collapses.
+
+func specFwBN() Spec {
+	return Spec{
+		Name: "FwBN", Suite: "DNNMark", Class: ReuseSensitive,
+		PaperFootprint: "42 MB", PaperInput: "Batch size 256",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			n := scaled(640_000, s, 64)
+			a := newAlloc()
+			x := a.buf(uint64(n) * 4)
+			y := a.buf(uint64(n) * 4)
+			wgs := gridFor(n, 4, 10)
+			k := multiPassKernel("FwBN", n, wgs, 4, false,
+				[]func(int) []gpu.Instr{
+					func(base int) []gpu.Instr { // mean pass
+						return []gpu.Instr{
+							loadAt(pcFor("FwBN.mean", 0), x, base),
+							gpu.WaitCnt{Max: 0},
+							compute(1),
+						}
+					},
+					func(base int) []gpu.Instr { // variance pass
+						return []gpu.Instr{
+							loadAt(pcFor("FwBN.var", 1), x, base),
+							gpu.WaitCnt{Max: 0},
+							compute(2),
+						}
+					},
+					func(base int) []gpu.Instr { // normalize pass
+						return []gpu.Instr{
+							loadAt(pcFor("FwBN.norm", 2), x, base),
+							gpu.WaitCnt{Max: 0},
+							compute(2),
+							storeAt(pcFor("FwBN.y", 3), y, base),
+						}
+					},
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}
+
+func specBwBN() Spec {
+	return Spec{
+		Name: "BwBN", Suite: "DNNMark", Class: ReuseSensitive,
+		PaperFootprint: "5.88 MB", PaperInput: "Batch size 512",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			// Sized so x and dy (the pass-1/pass-2 reuse set) fit the
+			// 4 MB L2 together, as the paper's 5.88 MB footprint
+			// mostly does.
+			n := scaled(384_000, s, 64)
+			a := newAlloc()
+			x := a.buf(uint64(n) * 4)
+			dy := a.buf(uint64(n) * 4)
+			dx := a.buf(uint64(n) * 4)
+			wgs := gridFor(n, 4, 10)
+			waves := wgs * 4
+			// One accumulator line per wave: the gradient reduction
+			// target each wave updates every iteration.
+			acc := a.buf(uint64(waves) * mem.LineSize)
+			accLine := func(base int) mem.Addr {
+				chunks := (n + 63) / 64
+				perWave := (chunks + waves - 1) / waves
+				wave := (base / 64) / perWave
+				return acc + mem.Addr(wave)*mem.LineSize
+			}
+			k := multiPassKernel("BwBN", n, wgs, 4, false,
+				[]func(int) []gpu.Instr{
+					func(base int) []gpu.Instr { // dgamma/dbeta reduction
+						return []gpu.Instr{
+							loadAt(pcFor("BwBN.x", 0), x, base),
+							loadAt(pcFor("BwBN.dy", 1), dy, base),
+							gpu.WaitCnt{Max: 0},
+							compute(2),
+							// Partial-sum store: hits the same line
+							// every iteration; CacheRW combines it,
+							// CacheR sends every update to memory.
+							gpu.MemAccess{
+								PC: pcFor("BwBN.acc", 2), Kind: mem.Store,
+								Base: accLine(base), Stride: 0, Lanes: 16, ElemBytes: 4,
+							},
+						}
+					},
+					func(base int) []gpu.Instr { // dx pass
+						return []gpu.Instr{
+							loadAt(pcFor("BwBN.x2", 3), x, base),
+							loadAt(pcFor("BwBN.dy2", 4), dy, base),
+							gpu.WaitCnt{Max: 0},
+							compute(3),
+							storeAt(pcFor("BwBN.dx", 5), dx, base),
+						}
+					},
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}

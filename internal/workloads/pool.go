@@ -1,0 +1,103 @@
+package workloads
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// --- Pooling layers (DNNMark) ---
+//
+// 2×2/stride-2 max pooling. Forward reads four inputs per output in two
+// comparison rounds; the second round re-reads the same lines after a
+// dependency wait, so caching captures the repeat while bypass
+// coalescing cannot (the rounds are too far apart in time). Because the
+// input set streams far beyond the L2, forward pooling also shows the
+// caching overheads the paper highlights: allocation-blocking stalls and
+// DRAM row-locality disruption, which its modest reuse only partly
+// repays. Backward pooling is store-dominated (four gradient stores per
+// loaded output gradient, two per line), which is what makes L2 write
+// combining profitable for it.
+
+// poolRowWidth is the modelled feature-map row width in elements.
+const poolRowWidth = 4096
+
+func specFwPool() Spec {
+	return Spec{
+		Name: "FwPool", Suite: "DNNMark", Class: ReuseSensitive,
+		PaperFootprint: "480 MB", PaperInput: "Batch size 256",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			nOut := scaled(512_000, s, 64)
+			nIn := nOut * 4
+			a := newAlloc()
+			in := a.buf(uint64(nIn)*4 + poolRowWidth*4)
+			out := a.buf(uint64(nOut) * 4)
+			// 64 outputs at out-index base pool over input rows at
+			// in-index 2*base (row 0) and 2*base+rowWidth (row 1),
+			// reading every other element (stride 8 bytes).
+			rowLoad := func(pc uint64, elemBase int, row, off int) gpu.Instr {
+				idx := 2*elemBase + row*poolRowWidth + off
+				return gpu.MemAccess{
+					PC: pc, Kind: mem.Load,
+					Base: in + mem.Addr(idx*4), Stride: 8, Lanes: 64, ElemBytes: 4,
+				}
+			}
+			k := chunkedKernel("FwPool", nOut, gridFor(nOut, 4, 10), 4, false,
+				func(base int) []gpu.Instr {
+					return []gpu.Instr{
+						// Round 1: compare left elements of both rows.
+						rowLoad(pcFor("FwPool.r0a", 0), base, 0, 0),
+						rowLoad(pcFor("FwPool.r1a", 1), base, 1, 0),
+						gpu.WaitCnt{Max: 0},
+						compute(1),
+						// Round 2: right elements — same lines again.
+						rowLoad(pcFor("FwPool.r0b", 2), base, 0, 1),
+						rowLoad(pcFor("FwPool.r1b", 3), base, 1, 1),
+						gpu.WaitCnt{Max: 0},
+						compute(1),
+						storeAt(pcFor("FwPool.y", 4), out, base),
+					}
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}
+
+func specBwPool() Spec {
+	return Spec{
+		Name: "BwPool", Suite: "DNNMark", Class: ReuseSensitive,
+		PaperFootprint: "252 MB", PaperInput: "Batch size 256",
+		UniqueKernels: 1, TotalKernels: 1,
+		Build: func(s Scale) Workload {
+			nDy := scaled(256_000, s, 64)
+			nDx := nDy * 4
+			a := newAlloc()
+			dy := a.buf(uint64(nDy) * 4)
+			dx := a.buf(uint64(nDx)*4 + poolRowWidth*4)
+			rowStore := func(pc uint64, elemBase int, row, off int) gpu.Instr {
+				idx := 2*elemBase + row*poolRowWidth + off
+				return gpu.MemAccess{
+					PC: pc, Kind: mem.Store,
+					Base: dx + mem.Addr(idx*4), Stride: 8, Lanes: 64, ElemBytes: 4,
+				}
+			}
+			k := chunkedKernel("BwPool", nDy, gridFor(nDy, 4, 10), 4, false,
+				func(base int) []gpu.Instr {
+					return []gpu.Instr{
+						loadAt(pcFor("BwPool.dy", 0), dy, base),
+						gpu.WaitCnt{Max: 0},
+						compute(1),
+						// Scatter the gradient to the 2×2 window:
+						// two stores per input line (left/right
+						// halves) — write combining halves the
+						// store traffic.
+						rowStore(pcFor("BwPool.r0a", 1), base, 0, 0),
+						rowStore(pcFor("BwPool.r0b", 2), base, 0, 1),
+						rowStore(pcFor("BwPool.r1a", 3), base, 1, 0),
+						rowStore(pcFor("BwPool.r1b", 4), base, 1, 1),
+					}
+				})
+			return Workload{Kernels: []gpu.Kernel{k}, FootprintBytes: a.used()}
+		},
+	}
+}

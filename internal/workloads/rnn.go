@@ -1,0 +1,290 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// --- DeepBench / MIOpen-benchmark RNNs ---
+//
+// LSTM and GRU cells at the paper's configuration (batch 1, sequence
+// length 16, hidden size 128). Each timestep launches a small gate GEMM
+// (gates = W · [x;h]) followed by elementwise gate activations and
+// pointwise state updates — Table 2's 150 kernels for forward, 363 for
+// forward+backward.
+//
+// The cache-relevant structure: the concatenated input vector is
+// broadcast to every output neuron (within-kernel reuse caching turns
+// into hits), weights stream once per step (self-invalidation at kernel
+// boundaries prevents cross-step weight reuse, as on the real machine),
+// and the backward pass re-reads forward-saved gate activations and
+// accumulates weight gradients into the same buffer every step — traffic
+// that L2 write combining (CacheRW) keeps on chip, which is why the
+// FwBw variants are the paper's biggest CacheRW winners.
+
+type rnnParams struct {
+	name     string
+	gates    int // 4 for LSTM, 3 for GRU
+	hidden   int
+	seq      int
+	backward bool
+}
+
+// rnnGateGEMM builds the per-step gate GEMM: out[gateW] = W[kW][gateW]·xh[kW].
+func rnnGateGEMM(name string, kW, gateW int, w, xh, out mem.Addr, store bool) gpu.Kernel {
+	const kt = 16
+	if gateW%64 != 0 || kW%kt != 0 {
+		panic("workloads: RNN gate GEMM needs 64-aligned widths: " + name)
+	}
+	kIters := kW / kt
+	return gpu.Kernel{
+		Name:       name,
+		Workgroups: gateW / 64,
+		WavesPerWG: 1,
+		NewProgram: func(wg, wave int) gpu.Program {
+			outBase := wg * 64
+			ki := 0
+			step := 0
+			stored := false
+			return gpu.FuncProgram(func() (gpu.Instr, bool) {
+				if ki < kIters {
+					switch {
+					case step < kt:
+						// One W row segment per k: 64
+						// contiguous outputs.
+						k := ki*kt + step
+						step++
+						return gpu.MemAccess{
+							PC:     pcFor(name+".w", 10),
+							Kind:   mem.Load,
+							Base:   w + mem.Addr((k*gateW+outBase)*4),
+							Stride: 4, Lanes: 64, ElemBytes: 4,
+						}, true
+					case step == kt:
+						step++
+						// Broadcast slice of xh shared by
+						// every workgroup: the within-kernel
+						// reuse that makes RNNs reuse
+						// sensitive.
+						return gpu.MemAccess{
+							PC:     pcFor(name+".xh", 11),
+							Kind:   mem.Load,
+							Base:   xh + mem.Addr(ki*kt*4),
+							Stride: 4, Lanes: kt, ElemBytes: 4,
+						}, true
+					case step == kt+1:
+						step++
+						return gpu.WaitCnt{Max: 0}, true
+					default:
+						step = 0
+						ki++
+						return compute(kt), true
+					}
+				}
+				if store && !stored {
+					stored = true
+					return storeAt(pcFor(name+".out", 12), out, outBase), true
+				}
+				return nil, false
+			})
+		},
+	}
+}
+
+// rnnVecKernel builds an elementwise kernel over an n-element vector.
+func rnnVecKernel(name string, n int, loads []mem.Addr, dst mem.Addr, valu int) gpu.Kernel {
+	return chunkedKernel(name, n, (n+63)/64, 1, false, func(base int) []gpu.Instr {
+		instrs := make([]gpu.Instr, 0, len(loads)+3)
+		for i, b := range loads {
+			instrs = append(instrs, loadAt(pcFor(name, i), b, base))
+		}
+		instrs = append(instrs, gpu.WaitCnt{Max: 0}, compute(valu))
+		if dst != 0 {
+			instrs = append(instrs, storeAt(pcFor(name+".dst", 9), dst, base))
+		}
+		return instrs
+	})
+}
+
+// rnnDWKernel accumulates the weight gradient: dW[k][out] += xh[k]·dg[out].
+// Every step rewrites the same dW lines — the write-combining target.
+func rnnDWKernel(name string, kW, gateW int, dW, xh, dg mem.Addr) gpu.Kernel {
+	const kt = 16
+	kIters := kW / kt
+	return gpu.Kernel{
+		Name:       name,
+		Workgroups: gateW / 64,
+		WavesPerWG: 1,
+		NewProgram: func(wg, wave int) gpu.Program {
+			outBase := wg * 64
+			ki := 0
+			step := 0
+			return gpu.FuncProgram(func() (gpu.Instr, bool) {
+				if ki >= kIters {
+					return nil, false
+				}
+				switch {
+				case step == 0:
+					step++
+					return loadAt(pcFor(name+".dg", 0), dg, outBase), true
+				case step == 1:
+					step++
+					return gpu.MemAccess{
+						PC:     pcFor(name+".xh", 1),
+						Kind:   mem.Load,
+						Base:   xh + mem.Addr(ki*kt*4),
+						Stride: 4, Lanes: kt, ElemBytes: 4,
+					}, true
+				case step == 2:
+					step++
+					return gpu.WaitCnt{Max: 0}, true
+				case step == 3:
+					step++
+					return compute(kt), true
+				case step < 4+kt:
+					k := ki*kt + (step - 4)
+					step++
+					return gpu.MemAccess{
+						PC:     pcFor(name+".dw", 2),
+						Kind:   mem.Store,
+						Base:   dW + mem.Addr((k*gateW+outBase)*4),
+						Stride: 4, Lanes: 64, ElemBytes: 4,
+					}, true
+				default:
+					step = 0
+					ki++
+					return gpu.WaitCnt{Max: 8}, true
+				}
+			})
+		},
+	}
+}
+
+func buildRNN(p rnnParams, s Scale) Workload {
+	h := scaled(p.hidden, s, 64)
+	gateW := p.gates * h
+	kW := 2 * h
+	seq := p.seq
+
+	al := newAlloc()
+	w := al.buf(uint64(kW * gateW * 4))
+	xh := al.buf(uint64(kW * 4))
+	gatesRaw := al.buf(uint64(gateW * 4))
+	// Per-step saved activations (consumed by backward).
+	gatesAct := make([]mem.Addr, seq)
+	hState := make([]mem.Addr, seq)
+	for t := 0; t < seq; t++ {
+		gatesAct[t] = al.buf(uint64(gateW * 4))
+		hState[t] = al.buf(uint64(h * 4))
+	}
+
+	var kernels []gpu.Kernel
+	// Prologue: 6 small setup kernels (embedding lookup, state init).
+	for i := 0; i < 6; i++ {
+		kernels = append(kernels,
+			rnnVecKernel(fmt.Sprintf("%s.init%d", p.name, i), kW, []mem.Addr{xh}, xh, 1))
+	}
+
+	// Forward: 9 kernels per step → 6 + 9×16 = 150 launches.
+	actSplit := gateW / p.gates // per-gate vector width
+	for t := 0; t < seq; t++ {
+		kernels = append(kernels,
+			rnnGateGEMM(p.name+".gemm", kW, gateW, w, xh, gatesRaw, true))
+		for g := 0; g < 3; g++ { // sigmoid gates
+			kernels = append(kernels,
+				rnnVecKernel(p.name+".sig", actSplit, []mem.Addr{gatesRaw}, gatesAct[t], 2))
+		}
+		kernels = append(kernels, // tanh gate / candidate
+			rnnVecKernel(p.name+".tanh", actSplit, []mem.Addr{gatesRaw}, gatesAct[t], 2))
+		for i := 0; i < 4; i++ { // pointwise state updates
+			kernels = append(kernels,
+				rnnVecKernel(p.name+".pw", h, []mem.Addr{gatesAct[t], hState[t]}, hState[t], 1))
+		}
+	}
+
+	if p.backward {
+		dW := al.buf(uint64(kW * gateW * 4))
+		dg := al.buf(uint64(gateW * 4))
+		dh := al.buf(uint64(h * 4))
+		// Backward: 13 kernels per step + 5 epilogue → 208 + 5; with
+		// the forward 150 this gives Table 2's 363 launches.
+		for t := seq - 1; t >= 0; t-- {
+			// Gradient through the gate GEMM (transposed weights).
+			kernels = append(kernels,
+				rnnGateGEMM(p.name+".gemmT", kW, gateW, w, dh, dg, true))
+			// Weight gradient accumulation into the same dW buffer
+			// every step: CacheRW's biggest win.
+			kernels = append(kernels,
+				rnnDWKernel(p.name+".dw", kW, gateW, dW, xh, dg))
+			for g := 0; g < 3; g++ { // sigmoid backward
+				kernels = append(kernels,
+					rnnVecKernel(p.name+".sigbw", actSplit,
+						[]mem.Addr{gatesAct[t], dg}, dg, 2))
+			}
+			kernels = append(kernels, // tanh backward
+				rnnVecKernel(p.name+".tanhbw", actSplit,
+					[]mem.Addr{gatesAct[t], dg}, dg, 2))
+			for i := 0; i < 7; i++ { // pointwise state gradients
+				kernels = append(kernels,
+					rnnVecKernel(p.name+".pwbw", h,
+						[]mem.Addr{gatesAct[t], hState[t], dh}, dh, 1))
+			}
+		}
+		for i := 0; i < 5; i++ { // epilogue reductions
+			kernels = append(kernels,
+				rnnVecKernel(fmt.Sprintf("%s.fin%d", p.name, i), h, []mem.Addr{dh}, dh, 1))
+		}
+	}
+
+	return Workload{Kernels: kernels, FootprintBytes: al.used()}
+}
+
+func specFwLSTM() Spec {
+	return Spec{
+		Name: "FwLSTM", Suite: "DeepBench", Class: ReuseSensitive,
+		PaperFootprint: "0.38 MB",
+		PaperInput:     "Batch 1, seq 16, hidden 128, LSTM",
+		UniqueKernels:  4, TotalKernels: 150,
+		Build: func(s Scale) Workload {
+			return buildRNN(rnnParams{name: "FwLSTM", gates: 4, hidden: 128, seq: 16}, s)
+		},
+	}
+}
+
+func specFwGRU() Spec {
+	return Spec{
+		Name: "FwGRU", Suite: "DeepBench", Class: ReuseSensitive,
+		PaperFootprint: "0.38 MB",
+		PaperInput:     "Batch 1, seq 16, hidden 128, GRU",
+		UniqueKernels:  4, TotalKernels: 150,
+		Build: func(s Scale) Workload {
+			return buildRNN(rnnParams{name: "FwGRU", gates: 3, hidden: 128, seq: 16}, s)
+		},
+	}
+}
+
+func specFwBwLSTM() Spec {
+	return Spec{
+		Name: "FwBwLSTM", Suite: "DeepBench", Class: ReuseSensitive,
+		PaperFootprint: "0.48 MB",
+		PaperInput:     "Batch 1, seq 16, hidden 128, LSTM",
+		UniqueKernels:  6, TotalKernels: 363,
+		Build: func(s Scale) Workload {
+			return buildRNN(rnnParams{name: "FwBwLSTM", gates: 4, hidden: 128, seq: 16, backward: true}, s)
+		},
+	}
+}
+
+func specFwBwGRU() Spec {
+	return Spec{
+		Name: "FwBwGRU", Suite: "DeepBench", Class: ReuseSensitive,
+		PaperFootprint: "0.48 MB",
+		PaperInput:     "Batch 1, seq 16, hidden 128, GRU",
+		UniqueKernels:  6, TotalKernels: 363,
+		Build: func(s Scale) Workload {
+			return buildRNN(rnnParams{name: "FwBwGRU", gates: 3, hidden: 128, seq: 16, backward: true}, s)
+		},
+	}
+}

@@ -1,0 +1,286 @@
+// Package workloads provides synthetic kernel generators for the 17 MI
+// benchmarks of Table 2. Each generator reproduces the memory access
+// structure of its MIOpen/DeepBench counterpart — streaming elementwise
+// traffic, pooling windows, multi-pass normalizations, LDS-tiled GEMMs,
+// and multi-kernel RNN timestep sequences — because those structures, not
+// the arithmetic, determine how each workload responds to GPU caching
+// policy.
+//
+// Footprints are scaled relative to the paper's (Table 2) so whole-figure
+// sweeps run in seconds, but each workload keeps its footprint-to-cache
+// regime: FwSoft still fits in one L1, BwBN still roughly matches the L2,
+// and the activation layers still exceed the L2 many times over. The
+// Scale parameter grows or shrinks everything proportionally.
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/event"
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// Class is the paper's workload grouping (Section VI.A).
+type Class int
+
+const (
+	// Insensitive workloads change <5% across policies.
+	Insensitive Class = iota
+	// ReuseSensitive workloads improve with caching.
+	ReuseSensitive
+	// ThroughputSensitive workloads degrade with caching.
+	ThroughputSensitive
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Insensitive:
+		return "Insensitive"
+	case ReuseSensitive:
+		return "Reuse Sensitive"
+	case ThroughputSensitive:
+		return "Throughput Sensitive"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Scale multiplies every workload's element counts. 1.0 is the default
+// harness scale; tests use smaller values.
+type Scale float64
+
+// Spec describes one benchmark: identity, Table 2 metadata, and a
+// builder producing its kernel sequence.
+type Spec struct {
+	// Name is the paper's benchmark abbreviation (e.g. "FwAct").
+	Name string
+	// Suite is the source suite (DNNMark, DeepBench, MIOpen-benchmark).
+	Suite string
+	// Class is the paper's sensitivity grouping.
+	Class Class
+	// PaperFootprint is Table 2's GPU footprint, for reporting.
+	PaperFootprint string
+	// PaperInput is Table 2's input description.
+	PaperInput string
+	// UniqueKernels and TotalKernels mirror Table 2.
+	UniqueKernels, TotalKernels int
+	// Build produces the kernel sequence at a given scale.
+	Build func(s Scale) Workload
+}
+
+// Workload is a built benchmark: its kernels plus derived metadata.
+type Workload struct {
+	Kernels []gpu.Kernel
+	// FootprintBytes is the number of distinct bytes the kernels touch.
+	FootprintBytes uint64
+}
+
+// pcFor derives a stable PC for a static instruction: workload/kernel
+// name plus role index. The PC-based predictor keys on these.
+func pcFor(name string, role int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()<<8 | uint64(role&0xff)
+}
+
+// alloc is a bump allocator handing out row-aligned buffers in the
+// simulated address space so distinct workload buffers never share DRAM
+// rows.
+type alloc struct {
+	next mem.Addr
+}
+
+const allocAlign = 4096
+
+func newAlloc() *alloc { return &alloc{next: 0x1000_0000} }
+
+// buf reserves size bytes and returns the base address.
+func (a *alloc) buf(size uint64) mem.Addr {
+	base := a.next
+	sz := mem.Addr((size + allocAlign - 1) &^ (allocAlign - 1))
+	a.next += sz
+	return base
+}
+
+// used returns total bytes reserved.
+func (a *alloc) used() uint64 { return uint64(a.next - 0x1000_0000) }
+
+// scaled returns n scaled by s, rounded up to a multiple of unit and at
+// least one unit.
+func scaled(n int, s Scale, unit int) int {
+	v := int(float64(n) * float64(s))
+	if v < unit {
+		return unit
+	}
+	return (v + unit - 1) / unit * unit
+}
+
+// chunkedKernel builds a kernel whose wavefronts split totalElems into
+// contiguous per-wave chunks, processing 64 elements per iteration. gen
+// returns the per-iteration instruction slice for the chunk starting at
+// element index base.
+func chunkedKernel(name string, totalElems, wgs, wavesPerWG int, sync bool,
+	gen func(elemBase int) []gpu.Instr) gpu.Kernel {
+	if totalElems <= 0 || wgs <= 0 || wavesPerWG <= 0 {
+		panic(fmt.Sprintf("workloads: kernel %s has empty geometry", name))
+	}
+	waves := wgs * wavesPerWG
+	chunks := (totalElems + 63) / 64
+	perWave := (chunks + waves - 1) / waves
+	return gpu.Kernel{
+		Name:       name,
+		Workgroups: wgs,
+		WavesPerWG: wavesPerWG,
+		SystemSync: sync,
+		NewProgram: func(wg, wave int) gpu.Program {
+			waveIdx := wg*wavesPerWG + wave
+			cur := waveIdx * perWave
+			end := cur + perWave
+			if end > chunks {
+				end = chunks
+			}
+			var pend []gpu.Instr
+			pos := 0
+			return gpu.FuncProgram(func() (gpu.Instr, bool) {
+				for pos >= len(pend) {
+					if cur >= end {
+						return nil, false
+					}
+					pend = gen(cur * 64)
+					pos = 0
+					cur++
+				}
+				ins := pend[pos]
+				pos++
+				return ins, true
+			})
+		},
+	}
+}
+
+// multiPassKernel builds a kernel whose wavefronts sweep their contiguous
+// chunk of totalElems several times (normalization layers: statistics
+// pass(es), then an apply pass). passes[p] generates the instruction
+// slice for the 64-element iteration at elemBase during pass p. The
+// reuse distance between passes is the wave's whole chunk, which is what
+// lets caching (and only caching) capture cross-pass reuse.
+func multiPassKernel(name string, totalElems, wgs, wavesPerWG int, sync bool,
+	passes []func(elemBase int) []gpu.Instr) gpu.Kernel {
+	if totalElems <= 0 || wgs <= 0 || wavesPerWG <= 0 || len(passes) == 0 {
+		panic(fmt.Sprintf("workloads: kernel %s has empty geometry", name))
+	}
+	waves := wgs * wavesPerWG
+	chunks := (totalElems + 63) / 64
+	perWave := (chunks + waves - 1) / waves
+	return gpu.Kernel{
+		Name:       name,
+		Workgroups: wgs,
+		WavesPerWG: wavesPerWG,
+		SystemSync: sync,
+		NewProgram: func(wg, wave int) gpu.Program {
+			waveIdx := wg*wavesPerWG + wave
+			start := waveIdx * perWave
+			limit := start + perWave
+			if limit > chunks {
+				limit = chunks
+			}
+			pass := 0
+			cur := start
+			var pend []gpu.Instr
+			pos := 0
+			return gpu.FuncProgram(func() (gpu.Instr, bool) {
+				for pos >= len(pend) {
+					if cur >= limit {
+						pass++
+						cur = start
+						if pass >= len(passes) {
+							return nil, false
+						}
+					}
+					pend = passes[pass](cur * 64)
+					pos = 0
+					cur++
+				}
+				ins := pend[pos]
+				pos++
+				return ins, true
+			})
+		},
+	}
+}
+
+// loadAt builds a 64-lane contiguous float32 load of the 64 elements at
+// element index base of the buffer at bufBase.
+func loadAt(pc uint64, bufBase mem.Addr, elemBase int) gpu.Instr {
+	return gpu.MemAccess{
+		PC: pc, Kind: mem.Load,
+		Base: bufBase + mem.Addr(elemBase*4), Stride: 4, Lanes: 64, ElemBytes: 4,
+	}
+}
+
+// storeAt is loadAt's store counterpart.
+func storeAt(pc uint64, bufBase mem.Addr, elemBase int) gpu.Instr {
+	return gpu.MemAccess{
+		PC: pc, Kind: mem.Store,
+		Base: bufBase + mem.Addr(elemBase*4), Stride: 4, Lanes: 64, ElemBytes: 4,
+	}
+}
+
+// compute builds a vector-ALU burst: instrs 64-lane VALU instructions,
+// each taking 4 cycles on the 16-wide SIMD.
+func compute(valuInstrs int) gpu.Instr {
+	if valuInstrs < 1 {
+		valuInstrs = 1
+	}
+	return gpu.Compute{
+		VectorOps: uint64(64 * valuInstrs),
+		Cycles:    event.Cycle(4 * valuInstrs),
+	}
+}
+
+// All returns the 17 Table 2 workload specs in the paper's figure order
+// (grouped: insensitive, reuse sensitive, throughput sensitive).
+func All() []Spec {
+	return []Spec{
+		specDGEMM(),
+		specSGEMM(),
+		specCM(),
+		specFwBN(),
+		specFwPool(),
+		specFwSoft(),
+		specBwSoft(),
+		specBwPool(),
+		specFwGRU(),
+		specFwLSTM(),
+		specFwBwGRU(),
+		specFwBwLSTM(),
+		specBwBN(),
+		specFwFc(),
+		specFwAct(),
+		specFwLRN(),
+		specBwAct(),
+	}
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names returns all workload names in figure order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+const testScale = Scale(0.05)
+
+func TestAllSeventeenWorkloads(t *testing.T) {
+	specs := All()
+	if len(specs) != 17 {
+		t.Fatalf("len(All()) = %d, want 17 (Table 2)", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Build == nil {
+			t.Errorf("%s has no builder", s.Name)
+		}
+		if s.UniqueKernels <= 0 || s.TotalKernels < s.UniqueKernels {
+			t.Errorf("%s kernel counts invalid: %d/%d", s.Name, s.UniqueKernels, s.TotalKernels)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("FwAct")
+	if err != nil || s.Name != "FwAct" {
+		t.Fatalf("ByName(FwAct) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("NoSuch"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestTable2KernelCounts(t *testing.T) {
+	// Table 2's launch counts are structural properties of the
+	// generators — check the multi-kernel workloads exactly.
+	want := map[string]int{
+		"CM":       130,
+		"FwLSTM":   150,
+		"FwGRU":    150,
+		"FwBwLSTM": 363,
+		"FwBwGRU":  363,
+		"FwAct":    1,
+		"SGEMM":    1,
+	}
+	for name, n := range want {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := spec.Build(testScale)
+		if len(w.Kernels) != n {
+			t.Errorf("%s built %d kernels, want %d", name, len(w.Kernels), n)
+		}
+		if spec.TotalKernels != n {
+			t.Errorf("%s spec says %d kernels, want %d", name, spec.TotalKernels, n)
+		}
+	}
+}
+
+// drainProgram pulls every instruction of a program, with a generous
+// bound against runaway generators.
+func drainProgram(t *testing.T, p gpu.Program, bound int) []gpu.Instr {
+	t.Helper()
+	var out []gpu.Instr
+	for i := 0; i < bound; i++ {
+		ins, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ins)
+	}
+	t.Fatalf("program exceeded %d instructions", bound)
+	return nil
+}
+
+func TestEveryWorkloadProgramsAreWellFormed(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			w := spec.Build(testScale)
+			if len(w.Kernels) == 0 {
+				t.Fatal("no kernels")
+			}
+			if w.FootprintBytes == 0 {
+				t.Fatal("zero footprint")
+			}
+			for ki := range w.Kernels {
+				k := &w.Kernels[ki]
+				if k.Workgroups <= 0 || k.WavesPerWG <= 0 {
+					t.Fatalf("kernel %s has empty grid", k.Name)
+				}
+				if k.WavesPerWG > 40 {
+					t.Fatalf("kernel %s: %d waves/WG exceeds CU capacity", k.Name, k.WavesPerWG)
+				}
+				// Drain one representative wavefront per kernel and
+				// validate its instructions.
+				instrs := drainProgram(t, k.NewProgram(0, 0), 1_000_000)
+				sawMem := false
+				for _, ins := range instrs {
+					if ma, ok := ins.(gpu.MemAccess); ok {
+						sawMem = true
+						if len(ma.Lines()) == 0 {
+							t.Fatalf("kernel %s: empty access", k.Name)
+						}
+						if ma.Kind != mem.Load && ma.Kind != mem.Store {
+							t.Fatalf("kernel %s: bad kind", k.Name)
+						}
+					}
+				}
+				if !sawMem && ki == 0 {
+					t.Fatalf("kernel %s wave 0 touches no memory", k.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestFwActCoversEveryElementOnce(t *testing.T) {
+	spec, _ := ByName("FwAct")
+	w := spec.Build(testScale)
+	k := &w.Kernels[0]
+	loadLines := map[mem.Addr]int{}
+	storeLines := map[mem.Addr]int{}
+	for wg := 0; wg < k.Workgroups; wg++ {
+		for wave := 0; wave < k.WavesPerWG; wave++ {
+			for _, ins := range drainProgram(t, k.NewProgram(wg, wave), 1_000_000) {
+				ma, ok := ins.(gpu.MemAccess)
+				if !ok {
+					continue
+				}
+				for _, la := range ma.Lines() {
+					if ma.Kind == mem.Load {
+						loadLines[la]++
+					} else {
+						storeLines[la]++
+					}
+				}
+			}
+		}
+	}
+	if len(loadLines) == 0 || len(loadLines) != len(storeLines) {
+		t.Fatalf("load lines %d vs store lines %d", len(loadLines), len(storeLines))
+	}
+	for la, n := range loadLines {
+		if n != 1 {
+			t.Fatalf("line %#x loaded %d times; FwAct must stream", uint64(la), n)
+		}
+	}
+}
+
+func TestFwSoftRereadsItsInput(t *testing.T) {
+	spec, _ := ByName("FwSoft")
+	w := spec.Build(testScale)
+	k := &w.Kernels[0]
+	counts := map[mem.Addr]int{}
+	for _, ins := range drainProgram(t, k.NewProgram(0, 0), 100_000) {
+		if ma, ok := ins.(gpu.MemAccess); ok && ma.Kind == mem.Load {
+			for _, la := range ma.Lines() {
+				counts[la]++
+			}
+		}
+	}
+	for la, n := range counts {
+		if n != 3 {
+			t.Fatalf("softmax line %#x loaded %d times, want 3 passes", uint64(la), n)
+		}
+	}
+}
+
+func TestMultiPassKernelRevisitsChunk(t *testing.T) {
+	var visits []int
+	k := multiPassKernel("mp", 256, 1, 1, false, []func(int) []gpu.Instr{
+		func(base int) []gpu.Instr {
+			visits = append(visits, base)
+			return []gpu.Instr{compute(1)}
+		},
+		func(base int) []gpu.Instr {
+			visits = append(visits, base+1_000_000)
+			return []gpu.Instr{compute(1)}
+		},
+	})
+	drainProgram(t, k.NewProgram(0, 0), 10_000)
+	if len(visits) != 8 {
+		t.Fatalf("visits = %d, want 8 (4 chunks × 2 passes)", len(visits))
+	}
+	for i := 0; i < 4; i++ {
+		if visits[i] != i*64 {
+			t.Fatalf("pass 1 visits = %v", visits[:4])
+		}
+		if visits[4+i] != i*64+1_000_000 {
+			t.Fatalf("pass 2 visits = %v", visits[4:])
+		}
+	}
+}
+
+func TestChunkedKernelPartitionsWithoutOverlap(t *testing.T) {
+	const elems = 64 * 37
+	k := chunkedKernel("ck", elems, 5, 2, false, func(base int) []gpu.Instr {
+		return []gpu.Instr{loadAt(1, 0x1000_0000, base)}
+	})
+	seen := map[int]bool{}
+	total := 0
+	for wg := 0; wg < 5; wg++ {
+		for wv := 0; wv < 2; wv++ {
+			for _, ins := range drainProgram(t, k.NewProgram(wg, wv), 10_000) {
+				ma := ins.(gpu.MemAccess)
+				base := int(ma.Base-0x1000_0000) / 4
+				if seen[base] {
+					t.Fatalf("chunk %d processed twice", base)
+				}
+				seen[base] = true
+				total++
+			}
+		}
+	}
+	if total != 37 {
+		t.Fatalf("chunks processed = %d, want 37", total)
+	}
+}
+
+func TestGemmTileReuseStructure(t *testing.T) {
+	// Two workgroups in the same N-tile column must load identical B
+	// lines (the cross-WG reuse the caches capture).
+	d := gemmDims{M: 128, N: 64, K: 64, ElemBytes: 4, ValuCycles: 4}
+	k := gemmKernel("g", d, 0x1000_0000, 0x2000_0000, 0x3000_0000, false)
+	bLines := func(wg int) map[mem.Addr]bool {
+		out := map[mem.Addr]bool{}
+		for _, ins := range drainProgram(t, k.NewProgram(wg, 0), 100_000) {
+			if ma, ok := ins.(gpu.MemAccess); ok && ma.Kind == mem.Load && ma.Base >= 0x2000_0000 && ma.Base < 0x3000_0000 {
+				for _, la := range ma.Lines() {
+					out[la] = true
+				}
+			}
+		}
+		return out
+	}
+	// M=128 → 2 M-tiles, N=64 → 1 N-tile: WGs 0 and 1 share B.
+	b0, b1 := bLines(0), bLines(1)
+	if len(b0) == 0 || len(b0) != len(b1) {
+		t.Fatalf("B line sets differ in size: %d vs %d", len(b0), len(b1))
+	}
+	for la := range b0 {
+		if !b1[la] {
+			t.Fatalf("workgroups do not share B line %#x", uint64(la))
+		}
+	}
+}
+
+func TestScaleShrinksFootprint(t *testing.T) {
+	spec, _ := ByName("FwAct")
+	small := spec.Build(0.05)
+	big := spec.Build(0.5)
+	if small.FootprintBytes >= big.FootprintBytes {
+		t.Fatalf("scale did not grow footprint: %d vs %d", small.FootprintBytes, big.FootprintBytes)
+	}
+}
+
+func TestFootprintRegimes(t *testing.T) {
+	// The classification depends on footprint vs cache capacity
+	// (L1 16 KB, L2 4 MB): softmax fits in an L1; BwBN is L2-scale;
+	// the activations dwarf the L2. Verify at default scale.
+	const l1 = 16 << 10
+	const l2 = 4 << 20
+	fwSoft, _ := ByName("FwSoft")
+	if fp := fwSoft.Build(1).FootprintBytes; fp > 2*l1 {
+		t.Errorf("FwSoft footprint %d should be L1-resident scale", fp)
+	}
+	bwBN, _ := ByName("BwBN")
+	if fp := bwBN.Build(1).FootprintBytes; fp < l2 || fp > 4*l2 {
+		t.Errorf("BwBN footprint %d should be L2-scale (~%d)", fp, l2)
+	}
+	fwAct, _ := ByName("FwAct")
+	if fp := fwAct.Build(1).FootprintBytes; fp < 2*l2 {
+		t.Errorf("FwAct footprint %d must exceed the L2 severalfold", fp)
+	}
+}
+
+func TestPCsAreStableAndDistinct(t *testing.T) {
+	a := pcFor("FwAct.x", 0)
+	b := pcFor("FwAct.x", 0)
+	c := pcFor("FwAct.y", 1)
+	if a != b {
+		t.Fatal("pcFor not deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct roles collide")
+	}
+}
+
+func TestAllocatorSeparatesBuffers(t *testing.T) {
+	a := newAlloc()
+	b1 := a.buf(100)
+	b2 := a.buf(100)
+	if b2 <= b1 || uint64(b2-b1) < 100 {
+		t.Fatal("buffers overlap")
+	}
+	if uint64(b1)%allocAlign != 0 || uint64(b2)%allocAlign != 0 {
+		t.Fatal("buffers not aligned")
+	}
+	if a.used() == 0 {
+		t.Fatal("used() not tracking")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Insensitive.String() == "" || ReuseSensitive.String() == "" || ThroughputSensitive.String() == "" {
+		t.Fatal("empty class strings")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class should format")
+	}
+}
