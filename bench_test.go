@@ -57,6 +57,8 @@ var (
 func staticMatrix(b *testing.B) *core.Matrix {
 	b.Helper()
 	staticOnce.Do(func() {
+		// Built through the parallel path (Workers=0 → GOMAXPROCS);
+		// results are deterministic regardless of worker count.
 		rs, err := core.RunMatrix(benchConfig(), core.StaticVariants(), workloads.All(), benchScale)
 		if err != nil {
 			b.Fatal(err)
@@ -203,7 +205,58 @@ func BenchmarkFig13OptRowHits(b *testing.B) {
 	})
 }
 
+// --- Matrix throughput ---
+
+// matrixBenchSpecs is a small spec subset so per-iteration matrix runs
+// stay around a second.
+func matrixBenchSpecs(b *testing.B) []workloads.Spec {
+	b.Helper()
+	var specs []workloads.Spec
+	for _, name := range []string{"FwSoft", "BwSoft", "FwPool", "BwPool"} {
+		s, err := workloads.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// BenchmarkRunMatrixSequential is the Workers=1 reference for the
+// parallel speedup trajectory.
+func BenchmarkRunMatrixSequential(b *testing.B) {
+	cfg := benchConfig()
+	specs := matrixBenchSpecs(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunMatrixWith(cfg, core.StaticVariants(), specs, benchScale,
+			core.RunMatrixOpts{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMatrixParallel runs the same matrix across GOMAXPROCS
+// workers; on multicore hosts ns/op should approach the sequential time
+// divided by the core count.
+func BenchmarkRunMatrixParallel(b *testing.B) {
+	cfg := benchConfig()
+	specs := matrixBenchSpecs(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunMatrixWith(cfg, core.StaticVariants(), specs, benchScale,
+			core.RunMatrixOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Component microbenchmarks (simulator throughput) ---
+//
+// These track the zero-allocation hot-path contract: the event engine
+// must not allocate per event, and the cache hit path must not allocate
+// beyond the caller's own request object. Run with -benchmem; a rise in
+// allocs/op here is a regression.
 
 func BenchmarkEventEngine(b *testing.B) {
 	sim := event.New()
@@ -215,12 +268,38 @@ func BenchmarkEventEngine(b *testing.B) {
 			sim.Schedule(1, tick)
 		}
 	}
+	b.ReportAllocs()
 	sim.Schedule(1, tick)
 	sim.Run()
 }
 
+// BenchmarkEventEngineMixed exercises the heap with a fan of pending
+// events rather than a single chain, so sift costs at realistic queue
+// depths show up in the trajectory.
+func BenchmarkEventEngineMixed(b *testing.B) {
+	sim := event.New()
+	const fan = 256
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			// Vary the delay so events interleave across cycles.
+			sim.Schedule(event.Cycle(n%7+1), tick)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < fan && i < b.N; i++ {
+		n++
+		sim.Schedule(event.Cycle(i%13+1), tick)
+	}
+	sim.Run()
+}
+
 func BenchmarkCacheHitPath(b *testing.B) {
-	// Steady-state hit throughput of one cache instance.
+	// Steady-state hit throughput of one cache instance. The single
+	// alloc/op is the benchmark's own request literal; the cache side
+	// is allocation-free.
 	sim := event.New()
 	sink := cachePortFunc(func(r *mem.Request) {
 		if r.Done != nil {
@@ -230,6 +309,7 @@ func BenchmarkCacheHitPath(b *testing.B) {
 	c := newBenchCache(sim, sink)
 	c.Submit(&mem.Request{ID: 1, Line: 0x1000, Kind: mem.Load})
 	sim.Run()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Submit(&mem.Request{ID: uint64(i), Line: 0x1000, Kind: mem.Load})
@@ -237,9 +317,32 @@ func BenchmarkCacheHitPath(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheHitPathSteady reuses one request object across
+// iterations, exposing the cache's own allocation count (target: zero).
+func BenchmarkCacheHitPathSteady(b *testing.B) {
+	sim := event.New()
+	sink := cachePortFunc(func(r *mem.Request) {
+		if r.Done != nil {
+			sim.Schedule(10, r.Done)
+		}
+	})
+	c := newBenchCache(sim, sink)
+	req := &mem.Request{ID: 1, Line: 0x1000, Kind: mem.Load}
+	c.Submit(req)
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = uint64(i)
+		c.Submit(req)
+		sim.Run()
+	}
+}
+
 func BenchmarkDRAMStream(b *testing.B) {
 	sim := event.New()
 	d := dram.New(dram.Default(), sim)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Submit(&mem.Request{ID: uint64(i), Line: mem.Addr(i * mem.LineSize), Kind: mem.Load})
@@ -260,6 +363,7 @@ func BenchmarkEndToEndSmallWorkload(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := benchConfig()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.RunOne(cfg, v, spec, benchScale); err != nil {

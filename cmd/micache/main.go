@@ -47,6 +47,8 @@ func run(args []string) error {
 		record   = fs.String("record", "", "with -workload: write the memory trace to FILE")
 		replay   = fs.String("replay", "", "replay a recorded trace under -policy (trace-driven mode)")
 		window   = fs.Int("window", 64, "outstanding-request window for -replay (0 = timed replay)")
+		workers  = fs.Int("workers", 0, "concurrent simulations for matrix runs (0 = GOMAXPROCS, 1 = sequential)")
+		quiet    = fs.Bool("quiet", false, "suppress progress output on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,11 +75,11 @@ func run(args []string) error {
 	case *workload != "":
 		return runSingle(cfg, *workload, *variant, sc, *record)
 	case *figure != 0:
-		return runFigures(cfg, []int{*figure}, sc, *csv)
+		return runFigures(cfg, []int{*figure}, sc, *csv, *workers, *quiet)
 	case *all:
 		report.RenderTable1(out, cfg)
 		report.RenderTable2(out, sc)
-		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv)
+		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv, *workers, *quiet)
 	default:
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table, -figure or -workload")
@@ -184,9 +186,9 @@ func runReplay(cfg core.Config, path, label string, window int) error {
 	return nil
 }
 
-// runFigures computes the result matrix once and renders the requested
-// figures.
-func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool) error {
+// runFigures computes the result matrix once — cells spread over the
+// requested worker count — and renders the requested figures.
+func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, workers int, quiet bool) error {
 	specs := workloads.All()
 	figMap := report.Figures(cfg.GPUClockMHz)
 	sort.Ints(figs)
@@ -219,12 +221,28 @@ func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool) error
 	}
 
 	start := time.Now()
-	results, err := core.RunMatrix(cfg, variants, specs, sc)
+	opts := core.RunMatrixOpts{Workers: workers}
+	if !quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results, err := core.RunMatrixWith(cfg, variants, specs, sc, opts)
 	if err != nil {
+		if !quiet {
+			// The progress line only self-terminates on completion;
+			// keep the error off the half-drawn line.
+			fmt.Fprintln(os.Stderr)
+		}
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ran %d simulations in %v\n",
-		len(results), time.Since(start).Round(time.Millisecond))
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "ran %d simulations in %v (workers=%d)\n",
+			len(results), time.Since(start).Round(time.Millisecond), opts.EffectiveWorkers())
+	}
 
 	m := core.NewMatrix(results)
 	for _, f := range figs {

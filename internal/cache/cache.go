@@ -207,6 +207,13 @@ type Cache struct {
 	mshrWaiters []*txn              // blocked on a free MSHR
 	bypWaiters  []*txn              // blocked on a free bypass entry
 
+	// free lists. The event loop is single-threaded, so plain slices
+	// recycle txn wrappers and cache-originated requests without locking;
+	// the steady-state hit path allocates nothing.
+	txnFree []*txn
+	reqFree []*mem.Request
+	wbFree  []*mem.Request // writeback requests with a pre-built self-release Done
+
 	predSample int
 
 	// Stats accumulates this instance's counters.
@@ -246,8 +253,63 @@ func (c *Cache) setOf(lineAddr mem.Addr) int {
 
 // Submit implements Port. The request is processed starting this cycle.
 func (c *Cache) Submit(req *mem.Request) {
-	t := &txn{req: req}
-	c.try(t)
+	c.try(c.getTxn(req))
+}
+
+// getTxn recycles a transaction wrapper from the free list.
+func (c *Cache) getTxn(req *mem.Request) *txn {
+	if n := len(c.txnFree); n > 0 {
+		t := c.txnFree[n-1]
+		c.txnFree = c.txnFree[:n-1]
+		*t = txn{req: req}
+		return t
+	}
+	return &txn{req: req}
+}
+
+// putTxn releases a transaction that has reached a terminal state: its
+// request was answered, coalesced into a wait list, or forwarded below.
+// Parked transactions stay live and must not be released.
+func (c *Cache) putTxn(t *txn) {
+	t.req = nil
+	c.txnFree = append(c.txnFree, t)
+}
+
+// getReq recycles a request object for traffic this cache originates
+// (miss fetches, bypass forwards, flush writebacks). The caller must set
+// every field it needs; recycled requests come back zeroed.
+func (c *Cache) getReq() *mem.Request {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		return r
+	}
+	return &mem.Request{}
+}
+
+// putReq returns a cache-originated request to the free list. Safe only
+// after its Done has fired: lower levels drop their references before
+// (or by) invoking Done.
+func (c *Cache) putReq(r *mem.Request) {
+	*r = mem.Request{}
+	c.reqFree = append(c.reqFree, r)
+}
+
+// getWB recycles a fire-and-forget writeback request. Each carries a
+// permanently attached Done that returns it to the free list when the
+// lower level completes it, so steady-state writebacks allocate nothing.
+func (c *Cache) getWB() *mem.Request {
+	if n := len(c.wbFree); n > 0 {
+		r := c.wbFree[n-1]
+		c.wbFree = c.wbFree[:n-1]
+		return r
+	}
+	r := &mem.Request{}
+	r.Done = func() {
+		*r = mem.Request{Done: r.Done}
+		c.wbFree = append(c.wbFree, r)
+	}
+	return r
 }
 
 // try attempts the access now; on any structural block it records the
@@ -396,6 +458,7 @@ func (c *Cache) tryCached(t *txn) {
 		l := &ways[i]
 		if l.valid && !l.busy && l.tag == req.Line {
 			c.unblock(t)
+			c.putTxn(t)
 			c.Stats.Hits++
 			c.lruTick++
 			l.lru = c.lruTick
@@ -418,6 +481,7 @@ func (c *Cache) tryCached(t *txn) {
 	if m, ok := c.mshrs[req.Line]; ok {
 		if req.Kind == mem.Load {
 			c.unblock(t)
+			c.putTxn(t)
 			c.Stats.Coalesced++
 			m.waiters = append(m.waiters, req)
 			return
@@ -468,6 +532,7 @@ func (c *Cache) tryCached(t *txn) {
 	}
 
 	c.unblock(t)
+	c.putTxn(t)
 	c.evict(set, victim)
 	l := &ways[victim]
 	c.lruTick++
@@ -490,14 +555,16 @@ func (c *Cache) tryCached(t *txn) {
 	l.busy = true
 	m := &mshr{line: req.Line, set: set, way: victim, waiters: []*mem.Request{req}}
 	c.mshrs[req.Line] = m
-	fetch := &mem.Request{
-		ID:        req.ID,
-		PC:        req.PC,
-		Line:      req.Line,
-		Kind:      mem.Load,
-		CU:        req.CU,
-		Wavefront: req.Wavefront,
-		Done:      func() { c.fill(m) },
+	fetch := c.getReq()
+	fetch.ID = req.ID
+	fetch.PC = req.PC
+	fetch.Line = req.Line
+	fetch.Kind = mem.Load
+	fetch.CU = req.CU
+	fetch.Wavefront = req.Wavefront
+	fetch.Done = func() {
+		c.fill(m)
+		c.putReq(fetch)
 	}
 	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fetch) })
 }
@@ -535,6 +602,7 @@ func (c *Cache) tryBypass(t *txn) {
 	if req.Kind == mem.Load {
 		if e, ok := c.bypasses[req.Line]; ok {
 			c.unblock(t)
+			c.putTxn(t)
 			c.Stats.Coalesced++
 			e.waiters = append(e.waiters, req)
 			return
@@ -544,6 +612,7 @@ func (c *Cache) tryBypass(t *txn) {
 			return
 		}
 		c.unblock(t)
+		c.putTxn(t)
 		c.Stats.Bypasses++
 		e := &bypassEntry{line: req.Line, waiters: []*mem.Request{req}}
 		c.bypasses[req.Line] = e
@@ -552,19 +621,24 @@ func (c *Cache) tryBypass(t *txn) {
 		// level, predictor or allocation bypass) may still cache at
 		// the level below; only Uncached-policy traffic carries
 		// Bypass=true end to end.
-		fwd := &mem.Request{
-			ID: req.ID, PC: req.PC, Line: req.Line, Kind: mem.Load,
-			CU: req.CU, Wavefront: req.Wavefront, Bypass: req.Bypass,
-			// Bypassed loads traverse the same response pipeline
-			// stage as fills, so the uncontested memory latency is
-			// policy-independent (Table 1's ≈225 cycles).
-			Done: func() {
-				delete(c.bypasses, req.Line)
-				for _, w := range e.waiters {
-					c.respond(w, c.cfg.FillLatency)
-				}
-				c.wakeBypass()
-			},
+		fwd := c.getReq()
+		fwd.ID = req.ID
+		fwd.PC = req.PC
+		fwd.Line = req.Line
+		fwd.Kind = mem.Load
+		fwd.CU = req.CU
+		fwd.Wavefront = req.Wavefront
+		fwd.Bypass = req.Bypass
+		// Bypassed loads traverse the same response pipeline stage as
+		// fills, so the uncontested memory latency is
+		// policy-independent (Table 1's ≈225 cycles).
+		fwd.Done = func() {
+			delete(c.bypasses, e.line)
+			for _, w := range e.waiters {
+				c.respond(w, c.cfg.FillLatency)
+			}
+			c.wakeBypass()
+			c.putReq(fwd)
 		}
 		c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fwd) })
 		return
@@ -572,11 +646,19 @@ func (c *Cache) tryBypass(t *txn) {
 
 	// Bypass store: forward downward; the lower level acks.
 	c.unblock(t)
+	c.putTxn(t)
 	c.Stats.Bypasses++
-	fwd := &mem.Request{
-		ID: req.ID, PC: req.PC, Line: req.Line, Kind: mem.Store,
-		CU: req.CU, Wavefront: req.Wavefront, Bypass: req.Bypass,
-		Done: func() { c.respond(req, 0) },
+	fwd := c.getReq()
+	fwd.ID = req.ID
+	fwd.PC = req.PC
+	fwd.Line = req.Line
+	fwd.Kind = mem.Store
+	fwd.CU = req.CU
+	fwd.Wavefront = req.Wavefront
+	fwd.Bypass = req.Bypass
+	fwd.Done = func() {
+		c.respond(req, 0)
+		c.putReq(fwd)
 	}
 	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fwd) })
 }
@@ -636,7 +718,10 @@ func (c *Cache) rinse(lineAddr mem.Addr) {
 // writeback sends a fire-and-forget store toward memory.
 func (c *Cache) writeback(lineAddr mem.Addr) {
 	c.Stats.Writebacks++
-	wb := &mem.Request{Line: lineAddr, Kind: mem.Store, Bypass: true}
+	wb := c.getWB()
+	wb.Line = lineAddr
+	wb.Kind = mem.Store
+	wb.Bypass = true
 	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(wb) })
 }
 
@@ -764,14 +849,18 @@ func (c *Cache) FlushDirty(done func()) {
 	}
 	remaining := len(lines)
 	for i, la := range lines {
-		la := la
 		c.Stats.Writebacks++
-		wb := &mem.Request{Line: la, Kind: mem.Store, Bypass: true, Done: func() {
+		wb := c.getReq()
+		wb.Line = la
+		wb.Kind = mem.Store
+		wb.Bypass = true
+		wb.Done = func() {
 			remaining--
 			if remaining == 0 && done != nil {
 				done()
 			}
-		}}
+			c.putReq(wb)
+		}
 		// The flush walker emits one writeback per cycle, in tag-walk
 		// (address) order — a row-friendly burst, as in hardware.
 		c.sim.Schedule(event.Cycle(i)+c.cfg.LookupLatency,

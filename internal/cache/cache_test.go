@@ -14,7 +14,7 @@ type fakeMem struct {
 	sim      *event.Sim
 	loadLat  event.Cycle
 	storeLat event.Cycle
-	arrived  []*mem.Request
+	arrived  []mem.Request // value copies: the cache recycles its forwards after Done
 }
 
 func newFakeMem(sim *event.Sim, lat event.Cycle) *fakeMem {
@@ -22,7 +22,7 @@ func newFakeMem(sim *event.Sim, lat event.Cycle) *fakeMem {
 }
 
 func (f *fakeMem) Submit(req *mem.Request) {
-	f.arrived = append(f.arrived, req)
+	f.arrived = append(f.arrived, *req)
 	lat := f.loadLat
 	if req.Kind == mem.Store {
 		lat = f.storeLat

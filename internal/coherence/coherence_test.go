@@ -8,14 +8,17 @@ import (
 	"repro/internal/mem"
 )
 
+// fakeMem records value copies at submit time: completed requests may be
+// recycled by their originating cache, so pointers must not be retained
+// past Done.
 type fakeMem struct {
 	sim     *event.Sim
 	lat     event.Cycle
-	arrived []*mem.Request
+	arrived []mem.Request
 }
 
 func (f *fakeMem) Submit(req *mem.Request) {
-	f.arrived = append(f.arrived, req)
+	f.arrived = append(f.arrived, *req)
 	if req.Done != nil {
 		f.sim.Schedule(f.lat, req.Done)
 	}

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -83,8 +86,12 @@ func (s *System) Run(w workloads.Workload) stats.Snapshot {
 	})
 	s.Sim.Run()
 	if !finished {
+		name := w.Name
+		if name == "" {
+			name = "unnamed workload"
+		}
 		panic(fmt.Sprintf("core: %s/%s did not finish (deadlock: %d events fired)",
-			s.Variant.Label, "workload", s.Sim.Fired()))
+			s.Variant.Label, name, s.Sim.Fired()))
 	}
 	return s.Snapshot(w)
 }
@@ -121,24 +128,142 @@ func RunOne(cfg Config, v Variant, spec workloads.Spec, scale workloads.Scale) (
 		return Result{}, err
 	}
 	w := spec.Build(scale)
+	if w.Name == "" {
+		// Custom specs built outside workloads.All() may not stamp the
+		// name; diagnostics should still identify the cell.
+		w.Name = spec.Name
+	}
 	snap := sys.Run(w)
 	return Result{Workload: spec.Name, Class: spec.Class, Variant: v.Label, Snap: snap}, nil
 }
 
-// RunMatrix runs every (spec × variant) combination on cold systems,
-// in order. It is the data source for every figure.
+// RunMatrixOpts configures RunMatrixWith.
+type RunMatrixOpts struct {
+	// Workers bounds concurrent cell simulations. Zero (the default)
+	// uses GOMAXPROCS; 1 runs the cells sequentially on the calling
+	// goroutine, exactly as the original sequential implementation did.
+	Workers int
+	// Progress, if non-nil, is called after each completed cell with
+	// the number of finished cells and the total. Calls are serialized
+	// (never concurrent), but with Workers > 1 they come from worker
+	// goroutines.
+	Progress func(done, total int)
+}
+
+// EffectiveWorkers resolves the worker count these options request,
+// before clamping to the matrix size.
+func (o RunMatrixOpts) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunMatrix runs every (spec × variant) combination on cold systems and
+// returns the results in spec-major order. It is the data source for
+// every figure. Cells run concurrently across GOMAXPROCS workers; use
+// RunMatrixWith to control worker count or observe progress.
 func RunMatrix(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads.Scale) ([]Result, error) {
-	out := make([]Result, 0, len(vs)*len(specs))
+	return RunMatrixWith(cfg, vs, specs, scale, RunMatrixOpts{})
+}
+
+// RunMatrixWith is RunMatrix with explicit options. Every matrix cell
+// builds a fresh cold System, so cells are independent and run in
+// parallel; results are returned in the same deterministic spec-major
+// order and with identical content regardless of worker count, and the
+// first error in cell order is returned, matching the sequential path.
+func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads.Scale, opts RunMatrixOpts) ([]Result, error) {
+	type cell struct {
+		spec workloads.Spec
+		v    Variant
+	}
+	cells := make([]cell, 0, len(vs)*len(specs))
 	for _, spec := range specs {
 		for _, v := range vs {
-			r, err := RunOne(cfg, v, spec, scale)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s under %s: %w", spec.Name, v.Label, err)
-			}
-			out = append(out, r)
+			cells = append(cells, cell{spec: spec, v: v})
 		}
 	}
-	return out, nil
+	total := len(cells)
+
+	workers := opts.EffectiveWorkers()
+	if workers > total {
+		workers = total
+	}
+
+	if workers <= 1 {
+		// Sequential path: no goroutines, stop at the first error.
+		out := make([]Result, 0, total)
+		for i, c := range cells {
+			r, err := RunOne(cfg, c.v, c.spec, scale)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s under %s: %w", c.spec.Name, c.v.Label, err)
+			}
+			out = append(out, r)
+			if opts.Progress != nil {
+				opts.Progress(i+1, total)
+			}
+		}
+		return out, nil
+	}
+
+	results := make([]Result, total)
+	errs := make([]error, total)
+	panics := make([]any, total)
+	var next atomic.Int64
+	var progressMu sync.Mutex
+	progressDone := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				c := cells[i]
+				// Capture panics (e.g. a deadlocked cell's diagnostic
+				// panic in System.Run) instead of crashing the process
+				// from an unrecoverable worker goroutine; they are
+				// re-raised on the calling goroutine below, keeping
+				// RunMatrix's panic behaviour identical to Workers=1.
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics[i] = p
+						}
+					}()
+					r, err := RunOne(cfg, c.v, c.spec, scale)
+					if err != nil {
+						errs[i] = fmt.Errorf("core: %s under %s: %w", c.spec.Name, c.v.Label, err)
+					} else {
+						results[i] = r
+					}
+				}()
+				if opts.Progress != nil {
+					progressMu.Lock()
+					progressDone++
+					opts.Progress(progressDone, total)
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// First-panic, then first-error propagation in cell order, as the
+	// sequential path would have reported them.
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Matrix indexes results by workload and variant.

@@ -32,6 +32,9 @@ func RunRecorded(cfg Config, v Variant, spec workloads.Spec, scale workloads.Sca
 	sys.GPU.SetPorts(ports)
 
 	w := spec.Build(scale)
+	if w.Name == "" {
+		w.Name = spec.Name
+	}
 	snap := sys.Run(w)
 	r := Result{Workload: spec.Name, Class: spec.Class, Variant: v.Label, Snap: snap}
 	return r, &rec.Trace, nil

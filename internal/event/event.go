@@ -5,8 +5,6 @@
 // the order they were scheduled, which keeps runs bit-for-bit reproducible.
 package event
 
-import "container/heap"
-
 // Cycle is a point in simulated time, in GPU clock cycles.
 type Cycle uint64
 
@@ -19,25 +17,25 @@ type item struct {
 	fn  Func
 }
 
-type eventHeap []item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders items by time, breaking ties by scheduling order (the
+// same-cycle FIFO determinism contract).
+func (a item) less(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (h eventHeap) peek() item    { return h[0] }
 
 // Sim is a discrete-event simulator. The zero value is ready to use.
+//
+// The event queue is a binary min-heap maintained inline over a concrete
+// []item slice: unlike container/heap, nothing is boxed into an interface,
+// so scheduling an event performs no per-event allocation (slice growth is
+// amortized).
 type Sim struct {
 	now    Cycle
 	seq    uint64
-	queue  eventHeap
+	queue  []item
 	fired  uint64
 	maxLen int
 }
@@ -71,10 +69,56 @@ func (s *Sim) At(t Cycle, fn Func) {
 		panic("event: nil event func")
 	}
 	s.seq++
-	heap.Push(&s.queue, item{at: t, seq: s.seq, fn: fn})
+	s.queue = append(s.queue, item{at: t, seq: s.seq, fn: fn})
+	s.siftUp(len(s.queue) - 1)
 	if len(s.queue) > s.maxLen {
 		s.maxLen = len(s.queue)
 	}
+}
+
+// siftUp restores the heap property after appending at index i.
+func (s *Sim) siftUp(i int) {
+	q := s.queue
+	it := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !it.less(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = it
+}
+
+// pop removes and returns the minimum item. The caller checks non-empty.
+func (s *Sim) pop() item {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	it := q[n]
+	q[n].fn = nil // release the callback so it can be collected
+	s.queue = q[:n]
+	if n > 0 {
+		// Sift the former last element down from the root.
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if right := child + 1; right < n && q[right].less(q[child]) {
+				child = right
+			}
+			if !q[child].less(it) {
+				break
+			}
+			q[i] = q[child]
+			i = child
+		}
+		q[i] = it
+	}
+	return top
 }
 
 // Step executes the next event, if any, advancing the clock to its time.
@@ -83,7 +127,7 @@ func (s *Sim) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	it := heap.Pop(&s.queue).(item)
+	it := s.pop()
 	s.now = it.at
 	s.fired++
 	it.fn()
@@ -100,7 +144,7 @@ func (s *Sim) Run() Cycle {
 // RunUntil executes events with time ≤ limit. It returns true if the queue
 // drained, false if events at cycles beyond limit remain.
 func (s *Sim) RunUntil(limit Cycle) bool {
-	for len(s.queue) > 0 && s.queue.peek().at <= limit {
+	for len(s.queue) > 0 && s.queue[0].at <= limit {
 		s.Step()
 	}
 	if len(s.queue) == 0 {

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -170,6 +171,82 @@ func TestPropertyMonotonicFiring(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPropertySameCycleFIFOUnderInterleaving exercises the determinism
+// contract the inlined heap must preserve: under any interleaving of
+// Schedule, At, RunUntil and nested mid-run scheduling, events fire at
+// their scheduled cycle, cycles never go backwards, and events scheduled
+// for the same cycle fire in scheduling order.
+func TestPropertySameCycleFIFOUnderInterleaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for trial := 0; trial < 100; trial++ {
+		s := New()
+		type rec struct {
+			plannedAt Cycle // cycle the event was scheduled for
+			firedAt   Cycle // s.Now() when it fired
+			id        int   // global scheduling order
+		}
+		var fired []rec
+		nextID := 0
+		scheduled := 0
+
+		var add func(depth int)
+		add = func(depth int) {
+			at := s.Now() + Cycle(rng.Intn(8))
+			id := nextID
+			nextID++
+			scheduled++
+			fn := func() {
+				fired = append(fired, rec{plannedAt: at, firedAt: s.Now(), id: id})
+				if depth < 3 && rng.Intn(4) == 0 {
+					add(depth + 1) // events scheduling events mid-run
+				}
+			}
+			if rng.Intn(2) == 0 {
+				s.At(at, fn)
+			} else {
+				s.Schedule(at-s.Now(), fn)
+			}
+		}
+
+		// Random interleaving of scheduling bursts and partial runs.
+		for op := 0; op < 40; op++ {
+			switch rng.Intn(4) {
+			case 0, 1:
+				for k := rng.Intn(5); k > 0; k-- {
+					add(0)
+				}
+			case 2:
+				s.RunUntil(s.Now() + Cycle(rng.Intn(6)))
+			case 3:
+				s.Step()
+			}
+		}
+		s.Run()
+
+		if len(fired) != scheduled {
+			t.Fatalf("trial %d: fired %d of %d events", trial, len(fired), scheduled)
+		}
+		for i, r := range fired {
+			if r.firedAt != r.plannedAt {
+				t.Fatalf("trial %d: event %d fired at %d, scheduled for %d",
+					trial, r.id, r.firedAt, r.plannedAt)
+			}
+			if i == 0 {
+				continue
+			}
+			prev := fired[i-1]
+			if r.firedAt < prev.firedAt {
+				t.Fatalf("trial %d: time went backwards (%d after %d)",
+					trial, r.firedAt, prev.firedAt)
+			}
+			if r.firedAt == prev.firedAt && r.id < prev.id {
+				t.Fatalf("trial %d: same-cycle FIFO violated at cycle %d: event %d fired after %d",
+					trial, r.firedAt, prev.id, r.id)
+			}
+		}
 	}
 }
 

@@ -97,6 +97,40 @@ type GPU struct {
 	wgDone    int
 	current   *Kernel
 	finished  func()
+
+	// reqFree recycles line-request objects. Each pooledReq carries a
+	// permanently attached Done closure, so the steady-state memory path
+	// allocates neither a request nor a completion callback per line.
+	reqFree []*pooledReq
+}
+
+// pooledReq pairs a recyclable request with the wavefront it currently
+// belongs to. req.Done is built once and survives recycling.
+type pooledReq struct {
+	req mem.Request
+	wf  *wavefront
+}
+
+// getReq hands out a request object with its Done wired to complete().
+func (g *GPU) getReq() *pooledReq {
+	if n := len(g.reqFree); n > 0 {
+		pr := g.reqFree[n-1]
+		g.reqFree = g.reqFree[:n-1]
+		return pr
+	}
+	pr := &pooledReq{}
+	pr.req.Done = func() { g.complete(pr) }
+	return pr
+}
+
+// complete handles a returning line request: the object goes back on the
+// free list (the hierarchy has dropped every reference by the time Done
+// fires), then the owning wavefront is notified.
+func (g *GPU) complete(pr *pooledReq) {
+	wf := pr.wf
+	pr.wf = nil
+	g.reqFree = append(g.reqFree, pr)
+	wf.response()
 }
 
 // New builds a GPU. ports must have one entry per CU.
@@ -507,15 +541,16 @@ func (wf *wavefront) issue() event.Cycle {
 		wf.readyAt = now + event.Cycle(len(lines))
 		port := g.ports[wf.simd.cu.id]
 		for i, la := range lines {
-			req := &mem.Request{
-				ID:        g.ids.Next(),
-				PC:        v.PC,
-				Line:      la,
-				Kind:      v.Kind,
-				CU:        wf.simd.cu.id,
-				Wavefront: wf.id,
-				Done:      func() { wf.response() },
-			}
+			pr := g.getReq()
+			pr.wf = wf
+			req := &pr.req
+			req.ID = g.ids.Next()
+			req.PC = v.PC
+			req.Line = la
+			req.Kind = v.Kind
+			req.CU = wf.simd.cu.id
+			req.Wavefront = wf.id
+			req.Bypass = false
 			if g.Decorate != nil {
 				g.Decorate(req)
 			}

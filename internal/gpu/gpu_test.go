@@ -13,11 +13,11 @@ import (
 type latencyPort struct {
 	sim     *event.Sim
 	lat     event.Cycle
-	arrived []*mem.Request
+	arrived []mem.Request // value copies: the GPU recycles requests after Done
 }
 
 func (p *latencyPort) Submit(req *mem.Request) {
-	p.arrived = append(p.arrived, req)
+	p.arrived = append(p.arrived, *req)
 	if req.Done != nil {
 		p.sim.Schedule(p.lat, req.Done)
 	}

@@ -67,6 +67,12 @@ type Request struct {
 	Bypass bool
 	// Done is invoked exactly once when the request's data returns to
 	// (loads) or is accepted on behalf of (stores) the issuing wavefront.
+	//
+	// Done is the request's last touch: originators recycle request
+	// objects through free lists once it has fired, so components must
+	// not retain a *Request (or read its fields) after invoking Done.
+	// Observers that need request data later must copy it at Submit
+	// time.
 	Done func()
 }
 

@@ -73,6 +73,9 @@ type Spec struct {
 
 // Workload is a built benchmark: its kernels plus derived metadata.
 type Workload struct {
+	// Name identifies the workload in diagnostics (e.g. deadlock
+	// panics). Spec.Build fills it from the spec's name.
+	Name    string
 	Kernels []gpu.Kernel
 	// FootprintBytes is the number of distinct bytes the kernels touch.
 	FootprintBytes uint64
@@ -241,10 +244,22 @@ func compute(valuInstrs int) gpu.Instr {
 	}
 }
 
+// named wraps a spec's builder so every built Workload carries the
+// spec's name, without each generator having to remember to set it.
+func named(s Spec) Spec {
+	build := s.Build
+	s.Build = func(sc Scale) Workload {
+		w := build(sc)
+		w.Name = s.Name
+		return w
+	}
+	return s
+}
+
 // All returns the 17 Table 2 workload specs in the paper's figure order
 // (grouped: insensitive, reuse sensitive, throughput sensitive).
 func All() []Spec {
-	return []Spec{
+	specs := []Spec{
 		specDGEMM(),
 		specSGEMM(),
 		specCM(),
@@ -263,6 +278,10 @@ func All() []Spec {
 		specFwLRN(),
 		specBwAct(),
 	}
+	for i := range specs {
+		specs[i] = named(specs[i])
+	}
+	return specs
 }
 
 // ByName returns the spec with the given name.
