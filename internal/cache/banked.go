@@ -37,11 +37,13 @@ func NewBanked(cfg Config, nBanks int, sim *event.Sim, lower Port) *Banked {
 }
 
 // bankOf selects the bank for a line address. Bank bits sit directly above
-// the set bits so that consecutive sets of lines spread across banks.
+// the set-index bits so that consecutive runs of sets spread across banks:
+// dividing the line number by the per-bank set count strips the set index,
+// and the bank mask then selects the bits directly above it.
 func (b *Banked) bankOf(lineAddr mem.Addr) int {
-	setBits := mem.Addr(len(b.banks[0].sets))
+	setCount := mem.Addr(len(b.banks[0].sets)) // sets per bank (a power of two)
 	lineNum := lineAddr >> mem.LineShift
-	return int((lineNum / setBits) & b.bankMask)
+	return int((lineNum / setCount) & b.bankMask)
 }
 
 // Submit implements Port.

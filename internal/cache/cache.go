@@ -135,16 +135,30 @@ type line struct {
 	reused bool   // hit at least once since allocation
 }
 
+// mshr tracks one outstanding fetch miss. Each carries its lower-level
+// fetch request with a permanently attached Done, so the steady-state
+// miss path recycles the whole tracking structure without allocating.
 type mshr struct {
 	line    mem.Addr
 	set     int
 	way     int
 	waiters []*mem.Request
+	fetch   mem.Request // the fetch sent below; Done fills and recycles
 }
 
+// bypassEntry tracks one outstanding bypassed load, with its forwarded
+// request embedded the same way.
 type bypassEntry struct {
 	line    mem.Addr
 	waiters []*mem.Request
+	fwd     mem.Request // the forward sent below; Done responds and recycles
+}
+
+// storeFwd pairs a forwarded bypass store with the original request it
+// must acknowledge; Done is attached once and survives recycling.
+type storeFwd struct {
+	fwd  mem.Request
+	orig *mem.Request
 }
 
 // chainKind identifies the wait list a woken transaction carries wake
@@ -209,10 +223,22 @@ type Cache struct {
 
 	// free lists. The event loop is single-threaded, so plain slices
 	// recycle txn wrappers and cache-originated requests without locking;
-	// the steady-state hit path allocates nothing.
-	txnFree []*txn
-	reqFree []*mem.Request
-	wbFree  []*mem.Request // writeback requests with a pre-built self-release Done
+	// the steady-state hit, miss-fetch, and bypass-forward paths allocate
+	// nothing.
+	txnFree  []*txn
+	reqFree  []*mem.Request
+	wbFree   []*mem.Request // writeback requests with a pre-built self-release Done
+	mshrFree []*mshr
+	bypFree  []*bypassEntry
+	sfFree   []*storeFwd
+
+	// delivery queues: each replaces a family of per-request closures
+	// with pooled entries drained by one pre-armed event.
+	fwdQ   *event.Queue[*mem.Request] // lookup-latency forwards to the lower level
+	retryQ *event.Queue[*txn]         // wake-up retries re-entering try
+	accQ   *event.Queue[*txn]         // port-slot waits re-entering access
+
+	flushLines []mem.Addr // scratch for FlushDirty's tag walk
 
 	predSample int
 
@@ -243,6 +269,9 @@ func New(cfg Config, sim *event.Sim, lower Port) *Cache {
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)
 	}
+	c.fwdQ = event.NewQueue(sim, func(r *mem.Request) { c.lower.Submit(r) })
+	c.retryQ = event.NewQueue(sim, func(t *txn) { c.try(t) })
+	c.accQ = event.NewQueue(sim, func(t *txn) { c.access(t) })
 	return c
 }
 
@@ -312,6 +341,67 @@ func (c *Cache) getWB() *mem.Request {
 	return r
 }
 
+// getMSHR recycles a miss-tracking entry. A fresh entry's fetch.Done is
+// built once: it fills the miss, then returns the entry to the free
+// list (the lower level has dropped its reference by the time Done
+// fires).
+func (c *Cache) getMSHR() *mshr {
+	if n := len(c.mshrFree); n > 0 {
+		m := c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		return m
+	}
+	m := &mshr{}
+	m.fetch.Done = func() {
+		c.fill(m)
+		m.waiters = m.waiters[:0]
+		m.fetch = mem.Request{Done: m.fetch.Done}
+		c.mshrFree = append(c.mshrFree, m)
+	}
+	return m
+}
+
+// getBypass recycles a bypassed-load entry; its fwd.Done answers every
+// coalesced waiter and recycles the entry.
+func (c *Cache) getBypass() *bypassEntry {
+	if n := len(c.bypFree); n > 0 {
+		e := c.bypFree[n-1]
+		c.bypFree = c.bypFree[:n-1]
+		return e
+	}
+	e := &bypassEntry{}
+	e.fwd.Done = func() {
+		delete(c.bypasses, e.line)
+		for _, w := range e.waiters {
+			c.respond(w, c.cfg.FillLatency)
+		}
+		e.waiters = e.waiters[:0]
+		e.fwd = mem.Request{Done: e.fwd.Done}
+		c.bypFree = append(c.bypFree, e)
+		c.wakeBypass()
+	}
+	return e
+}
+
+// getStoreFwd recycles a bypass-store forward pair; its fwd.Done acks
+// the original request and recycles the pair.
+func (c *Cache) getStoreFwd() *storeFwd {
+	if n := len(c.sfFree); n > 0 {
+		s := c.sfFree[n-1]
+		c.sfFree = c.sfFree[:n-1]
+		return s
+	}
+	s := &storeFwd{}
+	s.fwd.Done = func() {
+		orig := s.orig
+		s.orig = nil
+		s.fwd = mem.Request{Done: s.fwd.Done}
+		c.sfFree = append(c.sfFree, s)
+		c.respond(orig, 0)
+	}
+	return s
+}
+
 // try attempts the access now; on any structural block it records the
 // stall start and parks the transaction on the appropriate wait list.
 func (c *Cache) try(t *txn) {
@@ -328,7 +418,7 @@ func (c *Cache) try(t *txn) {
 	at := event.Cycle(slot / uint64(c.cfg.PortsPerCycle))
 	if at > now {
 		c.blockFor(t, causePort)
-		c.sim.At(at, func() { c.access(t) })
+		c.accQ.PushAt(at, t)
 		return
 	}
 	c.access(t)
@@ -550,23 +640,23 @@ func (c *Cache) tryCached(t *txn) {
 		return
 	}
 
-	// Load miss: reserve the way, allocate an MSHR, fetch below.
+	// Load miss: reserve the way, grab an MSHR, fetch below. The MSHR's
+	// embedded fetch request fills the miss from its pre-built Done.
 	c.Stats.Misses++
 	l.busy = true
-	m := &mshr{line: req.Line, set: set, way: victim, waiters: []*mem.Request{req}}
+	m := c.getMSHR()
+	m.line = req.Line
+	m.set = set
+	m.way = victim
+	m.waiters = append(m.waiters, req)
 	c.mshrs[req.Line] = m
-	fetch := c.getReq()
-	fetch.ID = req.ID
-	fetch.PC = req.PC
-	fetch.Line = req.Line
-	fetch.Kind = mem.Load
-	fetch.CU = req.CU
-	fetch.Wavefront = req.Wavefront
-	fetch.Done = func() {
-		c.fill(m)
-		c.putReq(fetch)
-	}
-	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fetch) })
+	m.fetch.ID = req.ID
+	m.fetch.PC = req.PC
+	m.fetch.Line = req.Line
+	m.fetch.Kind = mem.Load
+	m.fetch.CU = req.CU
+	m.fetch.Wavefront = req.Wavefront
+	c.fwdQ.Push(c.cfg.LookupLatency, &m.fetch)
 }
 
 // fill completes an outstanding miss: the line becomes valid and all
@@ -587,8 +677,7 @@ func (c *Cache) fill(m *mshr) {
 	if lw := c.lineWaiters[m.line]; len(lw) > 0 {
 		delete(c.lineWaiters, m.line)
 		for _, t := range lw {
-			t := t
-			c.sim.Schedule(1, func() { c.try(t) })
+			c.retryQ.Push(1, t)
 		}
 	}
 	c.wakeSet(m.set)
@@ -614,53 +703,46 @@ func (c *Cache) tryBypass(t *txn) {
 		c.unblock(t)
 		c.putTxn(t)
 		c.Stats.Bypasses++
-		e := &bypassEntry{line: req.Line, waiters: []*mem.Request{req}}
+		e := c.getBypass()
+		e.line = req.Line
+		e.waiters = append(e.waiters, req)
 		c.bypasses[req.Line] = e
 		// The forwarded request inherits the original's Bypass flag:
 		// a locally-bypassed request (store at a no-store-allocate
 		// level, predictor or allocation bypass) may still cache at
 		// the level below; only Uncached-policy traffic carries
 		// Bypass=true end to end.
-		fwd := c.getReq()
-		fwd.ID = req.ID
-		fwd.PC = req.PC
-		fwd.Line = req.Line
-		fwd.Kind = mem.Load
-		fwd.CU = req.CU
-		fwd.Wavefront = req.Wavefront
-		fwd.Bypass = req.Bypass
+		//
 		// Bypassed loads traverse the same response pipeline stage as
 		// fills, so the uncontested memory latency is
-		// policy-independent (Table 1's ≈225 cycles).
-		fwd.Done = func() {
-			delete(c.bypasses, e.line)
-			for _, w := range e.waiters {
-				c.respond(w, c.cfg.FillLatency)
-			}
-			c.wakeBypass()
-			c.putReq(fwd)
-		}
-		c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fwd) })
+		// policy-independent (Table 1's ≈225 cycles); the entry's
+		// pre-built fwd.Done answers all coalesced waiters.
+		e.fwd.ID = req.ID
+		e.fwd.PC = req.PC
+		e.fwd.Line = req.Line
+		e.fwd.Kind = mem.Load
+		e.fwd.CU = req.CU
+		e.fwd.Wavefront = req.Wavefront
+		e.fwd.Bypass = req.Bypass
+		c.fwdQ.Push(c.cfg.LookupLatency, &e.fwd)
 		return
 	}
 
-	// Bypass store: forward downward; the lower level acks.
+	// Bypass store: forward downward; the lower level acks through the
+	// pair's pre-built Done.
 	c.unblock(t)
 	c.putTxn(t)
 	c.Stats.Bypasses++
-	fwd := c.getReq()
-	fwd.ID = req.ID
-	fwd.PC = req.PC
-	fwd.Line = req.Line
-	fwd.Kind = mem.Store
-	fwd.CU = req.CU
-	fwd.Wavefront = req.Wavefront
-	fwd.Bypass = req.Bypass
-	fwd.Done = func() {
-		c.respond(req, 0)
-		c.putReq(fwd)
-	}
-	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(fwd) })
+	sf := c.getStoreFwd()
+	sf.orig = req
+	sf.fwd.ID = req.ID
+	sf.fwd.PC = req.PC
+	sf.fwd.Line = req.Line
+	sf.fwd.Kind = mem.Store
+	sf.fwd.CU = req.CU
+	sf.fwd.Wavefront = req.Wavefront
+	sf.fwd.Bypass = req.Bypass
+	c.fwdQ.Push(c.cfg.LookupLatency, &sf.fwd)
 }
 
 // markDirty sets the dirty bit and informs the rinser's dirty-block index.
@@ -722,7 +804,7 @@ func (c *Cache) writeback(lineAddr mem.Addr) {
 	wb.Line = lineAddr
 	wb.Kind = mem.Store
 	wb.Bypass = true
-	c.sim.Schedule(c.cfg.LookupLatency, func() { c.lower.Submit(wb) })
+	c.fwdQ.Push(c.cfg.LookupLatency, wb)
 }
 
 // respond completes a request after the given delay.
@@ -761,7 +843,7 @@ func (c *Cache) wakeSet(set int) {
 	}
 	t.chain = chainSet
 	t.chainSetIdx = set
-	c.sim.Schedule(1, func() { c.try(t) })
+	c.retryQ.Push(1, t)
 }
 
 // setHasFreeWay reports whether any way in set could be allocated now.
@@ -784,7 +866,7 @@ func (c *Cache) wakeMSHR() {
 	t := c.mshrWaiters[0]
 	c.mshrWaiters = c.mshrWaiters[1:]
 	t.chain = chainMSHR
-	c.sim.Schedule(1, func() { c.try(t) })
+	c.retryQ.Push(1, t)
 }
 
 // wakeBypass retries one transaction blocked on a free bypass entry; the
@@ -796,7 +878,7 @@ func (c *Cache) wakeBypass() {
 	t := c.bypWaiters[0]
 	c.bypWaiters = c.bypWaiters[1:]
 	t.chain = chainBypass
-	c.sim.Schedule(1, func() { c.try(t) })
+	c.retryQ.Push(1, t)
 }
 
 // InvalidateClean drops every valid clean line, modelling GPU
@@ -823,7 +905,7 @@ func (c *Cache) InvalidateClean() {
 // writebacks paced by LookupLatency so they arrive as a burst in address
 // order, as a hardware flush walker would generate them.
 func (c *Cache) FlushDirty(done func()) {
-	var lines []mem.Addr
+	lines := c.flushLines[:0]
 	for s := range c.sets {
 		for w := range c.sets[s] {
 			l := &c.sets[s][w]
@@ -841,6 +923,7 @@ func (c *Cache) FlushDirty(done func()) {
 			}
 		}
 	}
+	c.flushLines = lines // keep the grown scratch for the next flush
 	if len(lines) == 0 {
 		if done != nil {
 			c.sim.Schedule(0, done)
@@ -862,9 +945,9 @@ func (c *Cache) FlushDirty(done func()) {
 			c.putReq(wb)
 		}
 		// The flush walker emits one writeback per cycle, in tag-walk
-		// (address) order — a row-friendly burst, as in hardware.
-		c.sim.Schedule(event.Cycle(i)+c.cfg.LookupLatency,
-			func() { c.lower.Submit(wb) })
+		// (address) order — a row-friendly burst, as in hardware —
+		// through the forward queue rather than one timer per line.
+		c.fwdQ.Push(event.Cycle(i)+c.cfg.LookupLatency, wb)
 	}
 }
 

@@ -73,6 +73,10 @@ type Directory struct {
 	lower   cache.Port
 	latency event.Cycle
 
+	// hop defers requests across the fabric without allocating a
+	// closure per request.
+	hop *event.Queue[*mem.Request]
+
 	// Requests counts traffic through the directory.
 	Requests uint64
 }
@@ -82,7 +86,9 @@ func NewDirectory(sim *event.Sim, lower cache.Port, latency event.Cycle) *Direct
 	if sim == nil || lower == nil {
 		panic("coherence: directory needs a sim and a lower level")
 	}
-	return &Directory{sim: sim, lower: lower, latency: latency}
+	d := &Directory{sim: sim, lower: lower, latency: latency}
+	d.hop = event.NewQueue(sim, func(req *mem.Request) { d.lower.Submit(req) })
+	return d
 }
 
 // Submit implements cache.Port.
@@ -92,7 +98,7 @@ func (d *Directory) Submit(req *mem.Request) {
 		d.lower.Submit(req)
 		return
 	}
-	d.sim.Schedule(d.latency, func() { d.lower.Submit(req) })
+	d.hop.Push(d.latency, req)
 }
 
 // Engine applies a Policy to a built memory hierarchy: it decorates GPU

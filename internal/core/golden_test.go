@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// goldenCell pins one (workload, policy) measurement of the small-scale
+// Table-2 matrix: end-to-end cycles, cache hits at both levels, and
+// DRAM row-buffer hits. Together these cover the quantities every paper
+// figure is derived from.
+type goldenCell struct {
+	Cycles  uint64
+	L1Hits  uint64
+	L2Hits  uint64
+	RowHits uint64
+}
+
+// goldenMatrix was generated after the SIMD issue-rate fix landed
+// (PR 2): it is the timing baseline that any future refactor — the
+// deferred-delivery queue subsystem included — must reproduce exactly.
+// The simulator is deterministic, so exact equality is the contract.
+//
+// Regenerate (after an intentional timing change only) with:
+//
+//	GOLDEN_UPDATE=1 go test ./internal/core/ -run TestGoldenStatsMatrix -v
+//
+// and paste the printed literal over this map.
+var goldenMatrix = map[string]goldenCell{
+	"DGEMM/Uncached":    {Cycles: 16649, L1Hits: 0, L2Hits: 0, RowHits: 3952},
+	"DGEMM/CacheR":      {Cycles: 17050, L1Hits: 0, L2Hits: 556, RowHits: 3952},
+	"DGEMM/CacheRW":     {Cycles: 17417, L1Hits: 0, L2Hits: 556, RowHits: 3952},
+	"SGEMM/Uncached":    {Cycles: 13741, L1Hits: 0, L2Hits: 0, RowHits: 2704},
+	"SGEMM/CacheR":      {Cycles: 13741, L1Hits: 0, L2Hits: 42, RowHits: 2704},
+	"SGEMM/CacheRW":     {Cycles: 13984, L1Hits: 0, L2Hits: 42, RowHits: 2704},
+	"CM/Uncached":       {Cycles: 2438482, L1Hits: 0, L2Hits: 0, RowHits: 505395},
+	"CM/CacheR":         {Cycles: 2428846, L1Hits: 305052, L2Hits: 46625, RowHits: 423076},
+	"CM/CacheRW":        {Cycles: 2383509, L1Hits: 305052, L2Hits: 51585, RowHits: 381972},
+	"FwBN/Uncached":     {Cycles: 9724, L1Hits: 0, L2Hits: 0, RowHits: 7895},
+	"FwBN/CacheR":       {Cycles: 7311, L1Hits: 1896, L2Hits: 2112, RowHits: 3887},
+	"FwBN/CacheRW":      {Cycles: 7427, L1Hits: 1896, L2Hits: 2112, RowHits: 3887},
+	"FwPool/Uncached":   {Cycles: 8452, L1Hits: 0, L2Hits: 0, RowHits: 14120},
+	"FwPool/CacheR":     {Cycles: 5137, L1Hits: 6892, L2Hits: 2418, RowHits: 4869},
+	"FwPool/CacheRW":    {Cycles: 5822, L1Hits: 6912, L2Hits: 1998, RowHits: 5310},
+	"FwSoft/Uncached":   {Cycles: 1264, L1Hits: 0, L2Hits: 0, RowHits: 30},
+	"FwSoft/CacheR":     {Cycles: 832, L1Hits: 16, L2Hits: 0, RowHits: 14},
+	"FwSoft/CacheRW":    {Cycles: 914, L1Hits: 16, L2Hits: 0, RowHits: 14},
+	"BwSoft/Uncached":   {Cycles: 1074, L1Hits: 0, L2Hits: 0, RowHits: 30},
+	"BwSoft/CacheR":     {Cycles: 858, L1Hits: 8, L2Hits: 0, RowHits: 22},
+	"BwSoft/CacheRW":    {Cycles: 940, L1Hits: 8, L2Hits: 0, RowHits: 22},
+	"BwPool/Uncached":   {Cycles: 5731, L1Hits: 0, L2Hits: 0, RowHits: 7104},
+	"BwPool/CacheR":     {Cycles: 5731, L1Hits: 0, L2Hits: 0, RowHits: 7104},
+	"BwPool/CacheRW":    {Cycles: 4989, L1Hits: 0, L2Hits: 4544, RowHits: 2560},
+	"FwGRU/Uncached":    {Cycles: 356126, L1Hits: 0, L2Hits: 0, RowHits: 26217},
+	"FwGRU/CacheR":      {Cycles: 356126, L1Hits: 0, L2Hits: 0, RowHits: 26217},
+	"FwGRU/CacheRW":     {Cycles: 318792, L1Hits: 0, L2Hits: 1804, RowHits: 24741},
+	"FwLSTM/Uncached":   {Cycles: 357268, L1Hits: 0, L2Hits: 0, RowHits: 34456},
+	"FwLSTM/CacheR":     {Cycles: 357268, L1Hits: 0, L2Hits: 0, RowHits: 34456},
+	"FwLSTM/CacheRW":    {Cycles: 320282, L1Hits: 0, L2Hits: 1992, RowHits: 32920},
+	"FwBwGRU/Uncached":  {Cycles: 917458, L1Hits: 0, L2Hits: 0, RowHits: 79890},
+	"FwBwGRU/CacheR":    {Cycles: 910254, L1Hits: 1344, L2Hits: 0, RowHits: 78546},
+	"FwBwGRU/CacheRW":   {Cycles: 802125, L1Hits: 1344, L2Hits: 27656, RowHits: 51598},
+	"FwBwLSTM/Uncached": {Cycles: 924414, L1Hits: 0, L2Hits: 0, RowHits: 105073},
+	"FwBwLSTM/CacheR":   {Cycles: 917090, L1Hits: 1792, L2Hits: 0, RowHits: 103281},
+	"FwBwLSTM/CacheRW":  {Cycles: 817627, L1Hits: 1792, L2Hits: 34718, RowHits: 69497},
+	"BwBN/Uncached":     {Cycles: 6886, L1Hits: 0, L2Hits: 0, RowHits: 6176},
+	"BwBN/CacheR":       {Cycles: 6016, L1Hits: 140, L2Hits: 2260, RowHits: 3776},
+	"BwBN/CacheRW":      {Cycles: 6068, L1Hits: 144, L2Hits: 2528, RowHits: 3504},
+	"FwFc/Uncached":     {Cycles: 6492, L1Hits: 0, L2Hits: 0, RowHits: 12148},
+	"FwFc/CacheR":       {Cycles: 6493, L1Hits: 7047, L2Hits: 66, RowHits: 6000},
+	"FwFc/CacheRW":      {Cycles: 6974, L1Hits: 7047, L2Hits: 66, RowHits: 6000},
+	"FwAct/Uncached":    {Cycles: 4077, L1Hits: 0, L2Hits: 0, RowHits: 8775},
+	"FwAct/CacheR":      {Cycles: 4077, L1Hits: 0, L2Hits: 0, RowHits: 8775},
+	"FwAct/CacheRW":     {Cycles: 4777, L1Hits: 0, L2Hits: 0, RowHits: 8916},
+	"FwLRN/Uncached":    {Cycles: 4319, L1Hits: 0, L2Hits: 0, RowHits: 9470},
+	"FwLRN/CacheR":      {Cycles: 4139, L1Hits: 710, L2Hits: 0, RowHits: 8735},
+	"FwLRN/CacheRW":     {Cycles: 4839, L1Hits: 710, L2Hits: 0, RowHits: 8936},
+	"BwAct/Uncached":    {Cycles: 4200, L1Hits: 0, L2Hits: 0, RowHits: 9452},
+	"BwAct/CacheR":      {Cycles: 4329, L1Hits: 0, L2Hits: 0, RowHits: 9467},
+	"BwAct/CacheRW":     {Cycles: 4780, L1Hits: 0, L2Hits: 0, RowHits: 9644},
+}
+
+func TestGoldenStatsMatrix(t *testing.T) {
+	rs, err := RunMatrix(testConfig(), StaticVariants(), workloads.All(), testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		fmt.Println("var goldenMatrix = map[string]goldenCell{")
+		for _, r := range rs {
+			fmt.Printf("\t%q: {Cycles: %d, L1Hits: %d, L2Hits: %d, RowHits: %d},\n",
+				r.Workload+"/"+r.Variant, r.Snap.Cycles, r.Snap.L1.Hits, r.Snap.L2.Hits, r.Snap.DRAM.RowHits)
+		}
+		fmt.Println("}")
+		t.Skip("GOLDEN_UPDATE set: printed current matrix, skipping comparison")
+	}
+	if len(goldenMatrix) == 0 {
+		t.Fatal("golden matrix is empty; regenerate with GOLDEN_UPDATE=1")
+	}
+	seen := make(map[string]bool, len(rs))
+	for _, r := range rs {
+		key := r.Workload + "/" + r.Variant
+		seen[key] = true
+		want, ok := goldenMatrix[key]
+		if !ok {
+			t.Errorf("%s: no golden entry (new cell? regenerate the matrix)", key)
+			continue
+		}
+		got := goldenCell{
+			Cycles:  r.Snap.Cycles,
+			L1Hits:  r.Snap.L1.Hits,
+			L2Hits:  r.Snap.L2.Hits,
+			RowHits: r.Snap.DRAM.RowHits,
+		}
+		if got != want {
+			t.Errorf("%s: got %+v, want %+v", key, got, want)
+		}
+	}
+	for key := range goldenMatrix {
+		if !seen[key] {
+			t.Errorf("%s: golden entry has no matching cell", key)
+		}
+	}
+}

@@ -165,12 +165,17 @@ func (b *bankQ) serve(i int) entry {
 }
 
 type channel struct {
-	banks       []bankQ
-	live        int
-	busFreeAt   event.Cycle
-	tickPending bool
-	tickAt      event.Cycle
-	tickSeq     uint64
+	banks     []bankQ
+	live      int
+	busFreeAt event.Cycle
+
+	// ticker re-arms the channel's scheduling attempt. It replaces the
+	// generation-counter supersession scheme: arming an earlier attempt
+	// used to orphan the pending one's closure in the event heap; the
+	// ticker's single pre-built callback is idempotent instead (a stale
+	// fire re-checks the bus/bank guards and re-arms), so no closures
+	// pile up however often ticks are superseded.
+	ticker *event.Ticker
 }
 
 // Controller is the memory controller; it implements cache.Port.
@@ -192,7 +197,9 @@ func New(cfg Config, sim *event.Sim) *Controller {
 	}
 	d := &Controller{cfg: cfg, sim: sim, channels: make([]channel, cfg.Channels)}
 	for i := range d.channels {
+		ci := i
 		d.channels[i].banks = make([]bankQ, cfg.BanksPerChannel)
+		d.channels[i].ticker = event.NewTicker(sim, func() { d.tick(ci) })
 	}
 	return d
 }
@@ -208,37 +215,21 @@ func (d *Controller) Submit(req *mem.Request) {
 	d.scheduleTick(loc.Channel, d.sim.Now())
 }
 
-// scheduleTick arranges a scheduling attempt for channel ci at time t.
-// At most one tick per channel is live: scheduling an earlier tick
-// supersedes a pending later one via a generation counter.
+// scheduleTick arranges a scheduling attempt for channel ci at or
+// before time t; requests at or after an already-armed attempt coalesce
+// into it.
 func (d *Controller) scheduleTick(ci int, t event.Cycle) {
-	ch := &d.channels[ci]
-	now := d.sim.Now()
-	if t < now {
-		t = now
-	}
-	if ch.tickPending && ch.tickAt <= t {
-		return
-	}
-	ch.tickSeq++
-	seq := ch.tickSeq
-	ch.tickPending = true
-	ch.tickAt = t
-	d.sim.At(t, func() {
-		if d.channels[ci].tickSeq != seq {
-			return // superseded
-		}
-		d.tick(ci)
-	})
+	d.channels[ci].ticker.ArmAt(t)
 }
 
 // tick attempts to issue one request on channel ci: first the oldest
 // row-hitting request on any ready bank (searching each bank queue up to
 // Lookahead deep), then the oldest request on any ready bank, else it
-// re-arms for the earliest bank-ready time.
+// re-arms for the earliest bank-ready time. It is safe to invoke at any
+// time (stale ticker fires included): issuing is gated on the bus and
+// bank guards, never on who scheduled the attempt.
 func (d *Controller) tick(ci int) {
 	ch := &d.channels[ci]
-	ch.tickPending = false
 	if ch.live == 0 {
 		return
 	}

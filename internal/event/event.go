@@ -142,7 +142,8 @@ func (s *Sim) Run() Cycle {
 }
 
 // RunUntil executes events with time ≤ limit. It returns true if the queue
-// drained, false if events at cycles beyond limit remain.
+// drained, false if events at cycles beyond limit remain. A limit in the
+// past leaves the clock untouched: time never rewinds.
 func (s *Sim) RunUntil(limit Cycle) bool {
 	for len(s.queue) > 0 && s.queue[0].at <= limit {
 		s.Step()
@@ -150,7 +151,9 @@ func (s *Sim) RunUntil(limit Cycle) bool {
 	if len(s.queue) == 0 {
 		return true
 	}
-	s.now = limit
+	if limit > s.now {
+		s.now = limit
+	}
 	return false
 }
 

@@ -1,0 +1,196 @@
+package event
+
+// This file implements the deferred-delivery subsystem. Components that
+// used to schedule one closure per deferred hand-off
+// (`sim.Schedule(delay, func() { port.Submit(req) })`) instead Push the
+// value onto a Queue whose single pre-built drain event delivers every
+// due entry; the steady-state hand-off path performs no allocation.
+//
+// Two primitives are provided:
+//
+//   - Queue[T]: a min-heap of (time, value) entries drained by one
+//     pre-armed event. Replaces per-request submit closures in the GPU
+//     coalescer, the caches' lower-level forwards and retry wake-ups,
+//     and the coherence directory hop.
+//   - Ticker: a single re-armable callback. Replaces the per-call tick
+//     closures (and generation-counter supersession) in the DRAM
+//     controller and the SIMD front end.
+//
+// Ticker owns the arming discipline, and Queue builds on it: scheduled
+// fire times form a strictly decreasing stack (`arms`), because a new
+// fire is armed only when it is strictly earlier than every outstanding
+// one. The Sim fires a ticker's events in time order, so the stack top
+// is always the next fire, and a pop-on-fire keeps the bookkeeping
+// exact without event cancellation. Fires left behind by an earlier
+// re-arm are harmless: drain and tick callbacks are idempotent (they
+// deliver whatever is due and re-arm for whatever remains).
+
+// qentry is one deferred delivery: value v due at time at. seq breaks
+// same-cycle ties in push order, preserving FIFO determinism.
+type qentry[T any] struct {
+	at  Cycle
+	seq uint64
+	v   T
+}
+
+func (a qentry[T]) less(b qentry[T]) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Queue delivers values to a fixed callback at requested cycles, FIFO
+// within a cycle, without allocating per delivery. One drain event at a
+// time is usually armed; see the package comment on the arming stack.
+//
+// deliver runs inside the queue's drain event and may push further
+// entries onto the same queue (they are delivered in this drain if due,
+// later otherwise).
+type Queue[T any] struct {
+	sim     *Sim
+	deliver func(T)
+	entries []qentry[T] // min-heap by (at, seq)
+	seq     uint64
+	ticker  *Ticker // arms the drain for the earliest due entry
+}
+
+// NewQueue builds a delivery queue over sim. deliver must be non-nil.
+func NewQueue[T any](sim *Sim, deliver func(T)) *Queue[T] {
+	if sim == nil || deliver == nil {
+		panic("event: queue needs a sim and a deliver func")
+	}
+	q := &Queue[T]{sim: sim, deliver: deliver}
+	q.ticker = NewTicker(sim, q.drain)
+	return q
+}
+
+// Push arranges for v to be delivered delay cycles from now.
+func (q *Queue[T]) Push(delay Cycle, v T) {
+	q.PushAt(q.sim.Now()+delay, v)
+}
+
+// PushAt arranges for v to be delivered at absolute cycle t (clamped to
+// the current cycle; a same-cycle delivery runs after already-queued
+// events, like Schedule(0, ...)).
+func (q *Queue[T]) PushAt(t Cycle, v T) {
+	if now := q.sim.Now(); t < now {
+		t = now
+	}
+	q.seq++
+	q.entries = append(q.entries, qentry[T]{at: t, seq: q.seq, v: v})
+	q.siftUp(len(q.entries) - 1)
+	q.ticker.ArmAt(t)
+}
+
+// Len returns the number of undelivered entries.
+func (q *Queue[T]) Len() int { return len(q.entries) }
+
+// drain is the ticker callback: it delivers every due entry in
+// (time, push-order) and re-arms for the earliest remaining entry.
+func (q *Queue[T]) drain() {
+	now := q.sim.Now()
+	for len(q.entries) > 0 && q.entries[0].at <= now {
+		v := q.pop()
+		q.deliver(v)
+	}
+	if len(q.entries) > 0 {
+		q.ticker.ArmAt(q.entries[0].at)
+	}
+}
+
+// siftUp restores the heap property after appending at index i.
+func (q *Queue[T]) siftUp(i int) {
+	e := q.entries
+	it := e[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !it.less(e[parent]) {
+			break
+		}
+		e[i] = e[parent]
+		i = parent
+	}
+	e[i] = it
+}
+
+// pop removes and returns the minimum entry's value. Caller checks
+// non-empty.
+func (q *Queue[T]) pop() T {
+	e := q.entries
+	top := e[0].v
+	n := len(e) - 1
+	it := e[n]
+	var zero T
+	e[n].v = zero // release the value so it can be collected
+	q.entries = e[:n]
+	if n > 0 {
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if right := child + 1; right < n && e[right].less(e[child]) {
+				child = right
+			}
+			if !e[child].less(it) {
+				break
+			}
+			e[i] = e[child]
+			i = child
+		}
+		e[i] = it
+	}
+	return top
+}
+
+// Ticker re-arms a single callback without allocating per arm: ArmAt
+// requests a run at (or before) a cycle, and redundant requests for the
+// same or later cycles coalesce into the already-scheduled fire. The
+// callback must tolerate extra invocations (a later-armed fire that a
+// subsequent earlier arm superseded still runs), re-checking its own
+// state and re-arming as needed — the natural shape of a component tick.
+type Ticker struct {
+	sim  *Sim
+	fn   Func
+	arms []Cycle // strictly decreasing stack of scheduled fire times
+	fire Func    // built once; every arm reuses it
+}
+
+// NewTicker builds a ticker that runs fn when fired.
+func NewTicker(sim *Sim, fn Func) *Ticker {
+	if sim == nil || fn == nil {
+		panic("event: ticker needs a sim and a callback")
+	}
+	t := &Ticker{sim: sim, fn: fn}
+	t.fire = func() {
+		if n := len(t.arms); n > 0 {
+			t.arms = t.arms[:n-1]
+		}
+		t.fn()
+	}
+	return t
+}
+
+// ArmAt schedules the callback to run at cycle at (clamped to now). If a
+// fire is already scheduled at an earlier-or-equal cycle, the request
+// coalesces into it: that fire's callback is responsible for re-arming
+// if its work is not done.
+func (t *Ticker) ArmAt(at Cycle) {
+	if now := t.sim.Now(); at < now {
+		at = now
+	}
+	if n := len(t.arms); n > 0 && t.arms[n-1] <= at {
+		return
+	}
+	t.arms = append(t.arms, at)
+	t.sim.At(at, t.fire)
+}
+
+// Armed reports whether any fire is scheduled.
+func (t *Ticker) Armed() bool { return len(t.arms) > 0 }
+
+// NextFire returns the earliest scheduled fire time; valid only when
+// Armed.
+func (t *Ticker) NextFire() Cycle { return t.arms[len(t.arms)-1] }

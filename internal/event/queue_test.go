@@ -1,0 +1,263 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestQueueDeliversInTimeOrder(t *testing.T) {
+	s := New()
+	var got []int
+	q := NewQueue(s, func(v int) { got = append(got, v) })
+	q.Push(10, 2)
+	q.Push(3, 1)
+	q.Push(20, 3)
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order = %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", q.Len())
+	}
+}
+
+func TestQueueSameCycleFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	q := NewQueue(s, func(v int) { got = append(got, v) })
+	for i := 0; i < 100; i++ {
+		q.Push(7, i)
+	}
+	s.Run()
+	for i := 0; i < 100; i++ {
+		if got[i] != i {
+			t.Fatalf("same-cycle deliveries out of order at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestQueueEarlierPushSupersedesArmedDrain(t *testing.T) {
+	// Arm a drain at a late time, then push an earlier entry: it must be
+	// delivered at its own time, and the stale late fire must not
+	// re-deliver or crash.
+	s := New()
+	var at []Cycle
+	var q *Queue[int]
+	q = NewQueue(s, func(v int) { at = append(at, s.Now()) })
+	q.Push(50, 1)
+	s.Schedule(5, func() { q.Push(2, 2) }) // due at 7, earlier than 50
+	s.Run()
+	if len(at) != 2 || at[0] != 7 || at[1] != 50 {
+		t.Fatalf("delivery times = %v, want [7 50]", at)
+	}
+}
+
+func TestQueueDeliverTimes(t *testing.T) {
+	s := New()
+	var times []Cycle
+	q := NewQueue(s, func(v int) { times = append(times, s.Now()) })
+	q.Push(0, 0) // zero delay delivers later this cycle
+	q.Push(4, 1)
+	s.Run()
+	if len(times) != 2 || times[0] != 0 || times[1] != 4 {
+		t.Fatalf("delivery times = %v, want [0 4]", times)
+	}
+}
+
+func TestQueueReentrantPush(t *testing.T) {
+	// deliver pushes back into the same queue: same-cycle pushes are
+	// delivered within the same drain, future ones re-arm.
+	s := New()
+	var got []int
+	var q *Queue[int]
+	q = NewQueue(s, func(v int) {
+		got = append(got, v)
+		if v < 4 {
+			q.Push(0, v+10) // due now: same drain
+			q.Push(2, v+1)  // future: re-armed drain
+		}
+	})
+	q.Push(1, 1)
+	s.Run()
+	want := []int{1, 11, 2, 12, 3, 13, 4}
+	if len(got) != len(want) {
+		t.Fatalf("deliveries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deliveries = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueSteadyStateNoAllocs(t *testing.T) {
+	s := New()
+	n := 0
+	q := NewQueue(s, func(v int) { n += v })
+	// Warm up the entry heap and arm stack.
+	for i := 0; i < 64; i++ {
+		q.Push(Cycle(i%7), 1)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Push(Cycle(i%5), 1)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state queue push/drain allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestQueueRandomizedMatchesSchedule cross-checks the queue against
+// plain per-entry scheduling under random pushes, including pushes from
+// inside deliveries.
+func TestQueueRandomizedMatchesSchedule(t *testing.T) {
+	type rec struct {
+		at Cycle
+		v  int
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		var got []rec
+		var q *Queue[int]
+		depth := 0
+		q = NewQueue(s, func(v int) {
+			got = append(got, rec{at: s.Now(), v: v})
+			if depth < 200 && rng.Intn(3) == 0 {
+				depth++
+				q.Push(Cycle(rng.Intn(6)), depth+1000)
+			}
+		})
+		var want []rec
+		base := 0
+		for i := 0; i < 30; i++ {
+			d := Cycle(rng.Intn(10))
+			q.Push(d, base+i)
+			want = append(want, rec{at: s.Now() + d, v: base + i})
+		}
+		s.Run()
+		// Every pushed entry must have been delivered at its due time;
+		// nested pushes are checked for time-monotonicity only.
+		delivered := make(map[int]Cycle)
+		for i, r := range got {
+			delivered[r.v] = r.at
+			if i > 0 && got[i].at < got[i-1].at {
+				t.Fatalf("trial %d: deliveries went back in time: %v", trial, got)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].at < want[j].at })
+		for _, w := range want {
+			at, ok := delivered[w.v]
+			if !ok {
+				t.Fatalf("trial %d: entry %d never delivered", trial, w.v)
+			}
+			if at != w.at {
+				t.Fatalf("trial %d: entry %d delivered at %d, want %d", trial, w.v, at, w.at)
+			}
+		}
+	}
+}
+
+func TestTickerCoalescesArms(t *testing.T) {
+	s := New()
+	fired := 0
+	var tk *Ticker
+	tk = NewTicker(s, func() { fired++ })
+	tk.ArmAt(5)
+	tk.ArmAt(5) // coalesces
+	tk.ArmAt(9) // later: covered by the 5 fire's re-arm responsibility
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1 (arms coalesce)", fired)
+	}
+	if tk.Armed() {
+		t.Fatal("ticker still armed after drain")
+	}
+}
+
+func TestTickerEarlierArmFires(t *testing.T) {
+	s := New()
+	var at []Cycle
+	var tk *Ticker
+	tk = NewTicker(s, func() { at = append(at, s.Now()) })
+	tk.ArmAt(20)
+	s.Schedule(3, func() { tk.ArmAt(6) })
+	s.Run()
+	// The earlier arm fires at 6; the superseded arm still fires at 20
+	// (tickers cannot cancel), and the callback must tolerate it.
+	if len(at) != 2 || at[0] != 6 || at[1] != 20 {
+		t.Fatalf("fire times = %v, want [6 20]", at)
+	}
+}
+
+func TestTickerRearmFromCallback(t *testing.T) {
+	s := New()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(s, func() {
+		n++
+		if n < 5 {
+			tk.ArmAt(s.Now() + 3)
+		}
+	})
+	tk.ArmAt(1)
+	end := s.Run()
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+	if end != 13 {
+		t.Fatalf("end = %d, want 13", end)
+	}
+}
+
+func TestTickerSteadyStateNoAllocs(t *testing.T) {
+	s := New()
+	var tk *Ticker
+	tk = NewTicker(s, func() {})
+	tk.ArmAt(1)
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		tk.ArmAt(s.Now() + 1)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ticker arm/fire allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestRunUntilNeverRewinds is the regression test for the clock-rewind
+// bug: RunUntil with a limit below the current cycle used to set
+// s.now = limit, silently moving time backwards.
+func TestRunUntilNeverRewinds(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Schedule(20, func() {})
+	if s.RunUntil(10) {
+		t.Fatal("RunUntil(10) reported drained with an event at 20 pending")
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", s.Now())
+	}
+	if s.RunUntil(5) {
+		t.Fatal("RunUntil(5) reported drained")
+	}
+	if s.Now() != 10 {
+		t.Fatalf("RunUntil(5) rewound the clock to %d, want 10", s.Now())
+	}
+	// A drained queue must not rewind either.
+	s.RunUntil(100)
+	if s.Now() != 20 {
+		t.Fatalf("Now = %d after drain, want 20", s.Now())
+	}
+	s.RunUntil(3)
+	if s.Now() != 20 {
+		t.Fatalf("RunUntil(3) on a drained sim rewound the clock to %d, want 20", s.Now())
+	}
+}

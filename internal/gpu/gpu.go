@@ -77,6 +77,7 @@ type GPU struct {
 	waveSeq      int
 	dispatchRR   int
 	dispatchBusy bool
+	dispatchFn   event.Func // dispatchOne, built once (paced re-arms)
 
 	// Decorate, if non-nil, adjusts each line request before it enters
 	// the hierarchy; the coherence layer uses it to apply the caching
@@ -142,6 +143,7 @@ func New(cfg Config, sim *event.Sim, ports []cache.Port) *GPU {
 		panic(fmt.Sprintf("gpu: %d ports for %d CUs", len(ports), cfg.CUs))
 	}
 	g := &GPU{cfg: cfg, sim: sim, ports: ports}
+	g.dispatchFn = g.dispatchOne
 	g.cus = make([]*cu, cfg.CUs)
 	for i := range g.cus {
 		g.cus[i] = newCU(g, i)
@@ -226,7 +228,7 @@ func (g *GPU) dispatchOne() {
 					return
 				}
 				g.dispatchBusy = true
-				g.sim.Schedule(interval, g.dispatchOne)
+				g.sim.Schedule(interval, g.dispatchFn)
 			}
 			return
 		}
@@ -270,13 +272,23 @@ type cu struct {
 	g     *GPU
 	id    int
 	simds []*simd
+
+	// sq defers this CU's line-request submits to its memory port: the
+	// coalescer pushes one pooled request per line instead of scheduling
+	// one closure per line (up to 64 per instruction).
+	sq *event.Queue[*mem.Request]
 }
 
 func newCU(g *GPU, id int) *cu {
 	c := &cu{g: g, id: id}
+	// Deliver through g.ports at delivery time so SetPorts interposition
+	// is honoured.
+	c.sq = event.NewQueue(g.sim, func(r *mem.Request) { c.g.ports[c.id].Submit(r) })
 	c.simds = make([]*simd, g.cfg.SIMDsPerCU)
 	for i := range c.simds {
-		c.simds[i] = &simd{cu: c}
+		s := &simd{cu: c}
+		s.ticker = event.NewTicker(g.sim, s.tick)
+		c.simds[i] = s
 	}
 	return c
 }
@@ -325,10 +337,14 @@ func (c *cu) place(k *Kernel, wgID int) {
 // ----- SIMD unit -----
 
 type simd struct {
-	cu            *cu
-	waves         []*wavefront
-	rr            int
-	tickScheduled bool
+	cu    *cu
+	waves []*wavefront
+	rr    int
+
+	// ticker re-arms the issue attempt without allocating; busyUntil is
+	// when the issue port frees after the last issued instruction.
+	ticker    *event.Ticker
+	busyUntil event.Cycle
 }
 
 // liveWaves counts resident, unretired wavefronts.
@@ -342,19 +358,26 @@ func (s *simd) liveWaves() int {
 	return n
 }
 
-// arm schedules an issue attempt if one is not already pending.
+// arm schedules an issue attempt for the next cycle (or the cycle the
+// issue port frees, whichever is later). Redundant arms coalesce in the
+// ticker.
 func (s *simd) arm() {
-	if s.tickScheduled {
-		return
+	t := s.cu.g.sim.Now() + 1
+	if s.busyUntil > t {
+		t = s.busyUntil
 	}
-	s.tickScheduled = true
-	s.cu.g.sim.Schedule(1, s.tick)
+	s.ticker.ArmAt(t)
 }
 
 // tick issues at most one instruction from a ready wavefront.
 func (s *simd) tick() {
-	s.tickScheduled = false
 	now := s.cu.g.sim.Now()
+	if now < s.busyUntil {
+		// A stale ticker fire landed inside the issue-port occupancy of
+		// the previous instruction; try again when the port frees.
+		s.ticker.ArmAt(s.busyUntil)
+		return
+	}
 	n := len(s.waves)
 	if n == 0 {
 		return
@@ -382,23 +405,18 @@ func (s *simd) tick() {
 	if issued {
 		// A vector ALU instruction occupies the SIMD issue port for
 		// its full duration (GCN: 64 lanes over a 16-wide SIMD take 4
-		// cycles); other instructions issue back to back.
+		// cycles); other instructions issue back to back — the next
+		// issue attempt is at now+occupancy exactly, so one-cycle
+		// instructions sustain one issue per cycle.
 		if occupancy < 1 {
 			occupancy = 1
 		}
-		s.tickScheduled = true
-		s.cu.g.sim.Schedule(occupancy, func() {
-			s.tickScheduled = false
-			s.arm()
-		})
+		s.busyUntil = now + occupancy
+		s.ticker.ArmAt(s.busyUntil)
 		return
 	}
 	if nextWake > now {
-		s.tickScheduled = true
-		s.cu.g.sim.At(nextWake, func() {
-			s.tickScheduled = false
-			s.arm()
-		})
+		s.ticker.ArmAt(nextWake)
 	}
 	// Otherwise all waves are blocked on memory or barriers; response
 	// and barrier-release paths re-arm the SIMD.
@@ -435,6 +453,7 @@ type wavefront struct {
 
 	cur      Instr
 	curLines []mem.Addr // coalesced lines of cur when it is a MemAccess
+	linesBuf []mem.Addr // backing storage for curLines, reused per fetch
 	hasCur   bool
 
 	outstanding int
@@ -447,15 +466,17 @@ type wavefront struct {
 
 // readyState reports whether the wavefront can issue now, and if it is
 // only time-blocked, when it becomes ready.
+//
+// A satisfied waitMax is NOT cleared here: a readiness probe can fail
+// for an unrelated reason (readyAt, MLP), and clearing the standing wait
+// on a failed probe would make later memory responses spuriously re-arm
+// a time-blocked SIMD. The wait clears only on actual issue.
 func (wf *wavefront) readyState(now event.Cycle) (bool, event.Cycle) {
 	if wf.retired || wf.draining || wf.atBarrier {
 		return false, 0
 	}
-	if wf.waitMax >= 0 {
-		if wf.outstanding > wf.waitMax {
-			return false, 0 // memory response will unblock
-		}
-		wf.waitMax = -1
+	if wf.waitMax >= 0 && wf.outstanding > wf.waitMax {
+		return false, 0 // memory response will unblock
 	}
 	if wf.readyAt > now {
 		return false, wf.readyAt
@@ -475,9 +496,10 @@ func (wf *wavefront) readyState(now event.Cycle) (bool, event.Cycle) {
 		wf.hasCur = true
 		wf.curLines = nil
 		if ma, ok := ins.(MemAccess); ok {
-			// Coalesce once at fetch; readiness checks and issue
-			// reuse the result.
-			wf.curLines = ma.Lines()
+			// Coalesce once at fetch into the wavefront's reusable
+			// buffer; readiness checks and issue reuse the result.
+			wf.linesBuf = ma.AppendLines(wf.linesBuf[:0])
+			wf.curLines = wf.linesBuf
 		}
 	}
 	// A memory access must fit under the MLP limit.
@@ -492,6 +514,7 @@ func (wf *wavefront) readyState(now event.Cycle) (bool, event.Cycle) {
 			return false, 0
 		}
 	}
+	wf.waitMax = -1 // the wait (if any) is consumed by this issue
 	return true, 0
 }
 
@@ -539,7 +562,7 @@ func (wf *wavefront) issue() event.Cycle {
 		wf.curLines = nil
 		wf.outstanding += len(lines)
 		wf.readyAt = now + event.Cycle(len(lines))
-		port := g.ports[wf.simd.cu.id]
+		c := wf.simd.cu
 		for i, la := range lines {
 			pr := g.getReq()
 			pr.wf = wf
@@ -548,15 +571,16 @@ func (wf *wavefront) issue() event.Cycle {
 			req.PC = v.PC
 			req.Line = la
 			req.Kind = v.Kind
-			req.CU = wf.simd.cu.id
+			req.CU = c.id
 			req.Wavefront = wf.id
 			req.Bypass = false
 			if g.Decorate != nil {
 				g.Decorate(req)
 			}
 			g.Stats.MemRequests++
-			delay := event.Cycle(i)
-			g.sim.Schedule(delay, func() { port.Submit(req) })
+			// One line enters the port per cycle, via the CU's pooled
+			// delivery queue rather than one closure per line.
+			c.sq.Push(event.Cycle(i), req)
 		}
 		// Address generation occupies the memory pipe, not the SIMD.
 		return 1
@@ -575,13 +599,12 @@ func (wf *wavefront) response() {
 		wf.maybeRetire()
 		return
 	}
-	if wf.waitMax >= 0 && wf.outstanding <= wf.waitMax {
-		wf.simd.arm()
+	if wf.waitMax >= 0 && wf.outstanding > wf.waitMax {
+		return // still waiting for more responses
 	}
-	// MLP-blocked memory instructions also resume via arm.
-	if wf.waitMax < 0 {
-		wf.simd.arm()
-	}
+	// The wave's wait (WaitCnt or MLP) is satisfied, or it had none:
+	// give the SIMD an issue attempt.
+	wf.simd.arm()
 }
 
 func (wf *wavefront) maybeRetire() {

@@ -56,6 +56,14 @@ func (MemAccess) isInstr() {}
 
 // Lines returns the unique cache lines the access touches, in lane order.
 func (a MemAccess) Lines() []mem.Addr {
+	return a.AppendLines(nil)
+}
+
+// AppendLines appends the unique cache lines the access touches to dst,
+// in lane order, and returns the extended slice. The coalescer uses it
+// with a per-wavefront scratch buffer so the steady-state issue path
+// performs no allocation.
+func (a MemAccess) AppendLines(dst []mem.Addr) []mem.Addr {
 	eb := a.ElemBytes
 	if eb == 0 {
 		eb = 4
@@ -64,7 +72,8 @@ func (a MemAccess) Lines() []mem.Addr {
 	if lanes <= 0 {
 		lanes = 1
 	}
-	var out []mem.Addr
+	out := dst
+	start := len(out)
 	var last mem.Addr
 	haveLast := false
 	for i := 0; i < lanes; i++ {
@@ -79,7 +88,7 @@ func (a MemAccess) Lines() []mem.Addr {
 			// lines already collected.
 			dup := false
 			if a.Stride < 0 {
-				for _, prev := range out {
+				for _, prev := range out[start:] {
 					if prev == la {
 						dup = true
 						break

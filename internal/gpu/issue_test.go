@@ -1,0 +1,152 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// TestBackToBackComputeIssueRate is the regression test for the SIMD
+// issue-rate off-by-one: the post-issue re-arm used to add an extra
+// cycle, so one-cycle instructions issued every 2 cycles (100 ops
+// retired at cycle 201). Back-to-back one-cycle compute ops must issue
+// 1 cycle apart.
+func TestBackToBackComputeIssueRate(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 10)
+	const ops = 100
+	instrs := make([]Instr, ops)
+	for i := range instrs {
+		instrs[i] = Compute{VectorOps: 1, Cycles: 1}
+	}
+	g.RunWorkload([]Kernel{simpleKernel("b2b", 1, 1, func(wg, wave int) []Instr {
+		return instrs
+	})}, nil)
+	end := sim.Run()
+	if end > ops+5 {
+		t.Fatalf("100 one-cycle compute ops finished at cycle %d, want ≤ %d (1 issue/cycle)", end, ops+5)
+	}
+	if g.Stats.Instructions != ops {
+		t.Fatalf("instructions = %d, want %d", g.Stats.Instructions, ops)
+	}
+}
+
+// TestMultiCycleComputeOccupancy checks the other side of the fix: a
+// Cycles=4 vector instruction must hold the issue port 4 cycles, not 5.
+func TestMultiCycleComputeOccupancy(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 10)
+	const ops, cyc = 25, 4
+	instrs := make([]Instr, ops)
+	for i := range instrs {
+		instrs[i] = Compute{VectorOps: 1, Cycles: cyc}
+	}
+	g.RunWorkload([]Kernel{simpleKernel("occ", 1, 1, func(wg, wave int) []Instr {
+		return instrs
+	})}, nil)
+	end := sim.Run()
+	if end > ops*cyc+5 {
+		t.Fatalf("%d four-cycle ops finished at cycle %d, want ≤ %d", ops, end, ops*cyc+5)
+	}
+	if end < ops*cyc {
+		t.Fatalf("%d four-cycle ops finished at cycle %d, below the %d-cycle port occupancy floor", ops, end, ops*cyc)
+	}
+}
+
+// TestReadyStateProbeKeepsWaitMax is the regression test for the
+// waitMax-clearing bug: a readiness probe that passes the wait-count
+// gate but fails for another reason (here: time-blocked on readyAt)
+// must not clear the standing wait. Only an actual issue consumes it.
+func TestReadyStateProbeKeepsWaitMax(t *testing.T) {
+	wf := &wavefront{
+		waitMax:     2,
+		outstanding: 1,
+		readyAt:     10,
+		hasCur:      true,
+		cur:         Compute{VectorOps: 1, Cycles: 1},
+	}
+	ready, wakeAt := wf.readyState(5)
+	if ready {
+		t.Fatal("time-blocked wavefront reported ready")
+	}
+	if wakeAt != 10 {
+		t.Fatalf("wakeAt = %d, want 10", wakeAt)
+	}
+	if wf.waitMax != 2 {
+		t.Fatalf("failed probe cleared waitMax to %d, want 2 retained", wf.waitMax)
+	}
+	// Once genuinely ready, the issue-side probe consumes the wait.
+	ready, _ = wf.readyState(10)
+	if !ready {
+		t.Fatal("wavefront not ready at readyAt")
+	}
+	if wf.waitMax != -1 {
+		t.Fatalf("successful probe left waitMax = %d, want -1", wf.waitMax)
+	}
+}
+
+// quietPort answers requests after a fixed delay without recording them,
+// so steady-state allocation measurements see only the simulator.
+type quietPort struct {
+	sim *event.Sim
+	lat event.Cycle
+}
+
+func (p *quietPort) Submit(req *mem.Request) {
+	if req.Done != nil {
+		p.sim.Schedule(p.lat, req.Done)
+	}
+}
+
+// loopProgram repeats a pre-boxed instruction slice forever, so the
+// program side of the measurement allocates nothing per instruction.
+type loopProgram struct {
+	instrs []Instr
+	i      int
+}
+
+func (p *loopProgram) Next() (Instr, bool) {
+	ins := p.instrs[p.i]
+	p.i++
+	if p.i == len(p.instrs) {
+		p.i = 0
+	}
+	return ins, true
+}
+
+// TestSteadyStateIssuePathAllocationFree pins the zero-allocation
+// contract of the GPU front end: with request objects pooled, line
+// coalescing reusing the wavefront's scratch buffer, and per-line
+// submits going through the CU's delivery queue, a steady-state mix of
+// memory and compute instructions must not allocate at all.
+func TestSteadyStateIssuePathAllocationFree(t *testing.T) {
+	cfg := Config{
+		CUs: 1, SIMDsPerCU: 1, MaxWavesPerSIMD: 2,
+		WavefrontWidth: 64, MLPLimit: 8, LaunchLatency: 10,
+	}
+	sim := event.New()
+	g := New(cfg, sim, []cache.Port{&quietPort{sim: sim, lat: 25}})
+	prog := &loopProgram{instrs: []Instr{
+		MemAccess{PC: 1, Kind: mem.Load, Base: 0, Stride: 4, Lanes: 64},
+		WaitCnt{Max: 0},
+		Compute{VectorOps: 64, Cycles: 2},
+		MemAccess{PC: 2, Kind: mem.Store, Base: 0x10000, Stride: 4, Lanes: 64},
+	}}
+	g.RunWorkload([]Kernel{{
+		Name: "steady", Workgroups: 1, WavesPerWG: 1,
+		NewProgram: func(wg, wave int) Program { return prog },
+	}}, nil)
+
+	// Warm up: grow the request pool, queue heaps, and event heap to
+	// their steady-state sizes.
+	sim.RunUntil(sim.Now() + 20000)
+	allocs := testing.AllocsPerRun(10, func() {
+		sim.RunUntil(sim.Now() + 2000)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state issue path allocates %v/op, want 0", allocs)
+	}
+	if g.Stats.MemRequests == 0 {
+		t.Fatal("workload issued no memory requests")
+	}
+}
