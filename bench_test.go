@@ -237,9 +237,30 @@ func BenchmarkRunMatrixSequential(b *testing.B) {
 }
 
 // BenchmarkRunMatrixParallel runs the same matrix across GOMAXPROCS
-// workers; on multicore hosts ns/op should approach the sequential time
-// divided by the core count.
+// workers with a persistent SystemPool, the configuration a sweep or
+// long-lived harness would use: after the first iteration warms the
+// pool, cells run on reset systems and system construction disappears
+// from the profile. On multicore hosts ns/op should approach the
+// sequential time divided by the core count.
 func BenchmarkRunMatrixParallel(b *testing.B) {
+	cfg := benchConfig()
+	specs := matrixBenchSpecs(b)
+	pool := core.NewSystemPool(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunMatrixWith(cfg, core.StaticVariants(), specs, benchScale,
+			core.RunMatrixOpts{Pool: pool}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunMatrixParallelColdStart is the no-shared-pool reference:
+// every iteration uses a transient pool scoped to the call, so each
+// variant's first cell pays full system construction. The allocs/op gap
+// to BenchmarkRunMatrixParallel is the cold-start cost the pool removes.
+func BenchmarkRunMatrixParallelColdStart(b *testing.B) {
 	cfg := benchConfig()
 	specs := matrixBenchSpecs(b)
 	b.ReportAllocs()
@@ -248,6 +269,77 @@ func BenchmarkRunMatrixParallel(b *testing.B) {
 			core.RunMatrixOpts{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- System lifecycle (cold construction vs pooled reset) ---
+
+// BenchmarkNewSystem pins the cold-start cost of building one fully
+// wired system — the price every matrix cell used to pay, and the one
+// BenchmarkSystemReset shows the pool avoiding.
+func BenchmarkNewSystem(b *testing.B) {
+	cfg := benchConfig()
+	v, err := core.VariantByLabel("CacheRW-PCby")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewSystem(cfg, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSystemReset pins the cost of returning a used system to its
+// cold state. The contract is zero allocations: Reset only clears and
+// truncates what construction and the run already allocated.
+func BenchmarkSystemReset(b *testing.B) {
+	cfg := benchConfig()
+	v, err := core.VariantByLabel("CacheRW-PCby")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(cfg, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Run(spec.Build(benchScale))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Reset()
+	}
+}
+
+// BenchmarkSystemResetRun measures one full pooled cell — reset plus
+// re-run — for direct comparison with BenchmarkEndToEndSmallWorkload
+// (which builds a fresh system per run).
+func BenchmarkSystemResetRun(b *testing.B) {
+	cfg := benchConfig()
+	v, err := core.VariantByLabel("CacheRW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewSystem(cfg, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := spec.Build(benchScale)
+	sys.Run(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Reset()
+		sys.Run(w)
 	}
 }
 

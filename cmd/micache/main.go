@@ -16,8 +16,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -53,6 +55,11 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// A non-positive, NaN, or infinite scale silently degenerates every
+	// workload to empty kernels; reject it before anything runs.
+	if !(*scale > 0) || math.IsInf(*scale, 0) {
+		return fmt.Errorf("-scale must be positive and finite, got %g", *scale)
+	}
 
 	cfg := core.DefaultConfig()
 	if *cus > 0 {
@@ -86,14 +93,39 @@ func run(args []string) error {
 	}
 }
 
+// workloadNames lists the Table 2 workload names for error messages.
+func workloadNames() string {
+	specs := workloads.All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// lookupVariant resolves a -policy label, listing the valid labels when
+// it does not match.
+func lookupVariant(label string) (core.Variant, error) {
+	v, err := core.VariantByLabel(label)
+	if err != nil {
+		vs := core.AllVariants()
+		labels := make([]string, len(vs))
+		for i, v := range vs {
+			labels[i] = v.Label
+		}
+		return core.Variant{}, fmt.Errorf("unknown policy %q (valid: %s)", label, strings.Join(labels, ", "))
+	}
+	return v, nil
+}
+
 // runSingle runs one workload under one variant and prints full stats;
 // with recordPath it also captures and writes the memory trace.
 func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string) error {
 	spec, err := workloads.ByName(name)
 	if err != nil {
-		return err
+		return fmt.Errorf("unknown workload %q (valid: %s)", name, workloadNames())
 	}
-	v, err := core.VariantByLabel(label)
+	v, err := lookupVariant(label)
 	if err != nil {
 		return err
 	}
@@ -152,7 +184,7 @@ func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPa
 // runReplay drives a recorded trace through the memory system under the
 // given policy variant (trace-driven what-if mode).
 func runReplay(cfg core.Config, path, label string, window int) error {
-	v, err := core.VariantByLabel(label)
+	v, err := lookupVariant(label)
 	if err != nil {
 		return err
 	}

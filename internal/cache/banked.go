@@ -71,6 +71,13 @@ func (b *Banked) FlushDirty(done func()) {
 	}
 }
 
+// Reset resets every bank (see Cache.Reset).
+func (b *Banked) Reset() {
+	for _, c := range b.banks {
+		c.Reset()
+	}
+}
+
 // Stats sums the banks' counters.
 func (b *Banked) Stats() stats.CacheStats {
 	var s stats.CacheStats

@@ -981,3 +981,63 @@ func (c *Cache) ValidLines() int {
 
 // PendingMisses returns the number of outstanding MSHRs (tests).
 func (c *Cache) PendingMisses() int { return len(c.mshrs) }
+
+// Reset returns the cache to the observable state of a freshly built
+// one: every line invalid, tracking structures and wait lists empty,
+// delivery queues drained, statistics zeroed. Free lists, maps, and
+// grown scratch buffers keep their capacity, so a reset cache re-runs a
+// workload without the cold-start allocations of a fresh one. Call it
+// together with the owning Sim's Reset; in-flight requests parked here
+// are dropped, their txn wrappers and tracking entries recycled.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		ways := c.sets[s]
+		for w := range ways {
+			ways[w] = line{}
+		}
+	}
+	c.lruTick = 0
+	c.nextSlot = 0
+	c.predSample = 0
+
+	for _, m := range c.mshrs {
+		clear(m.waiters) // release dropped waiter requests to the GC
+		m.waiters = m.waiters[:0]
+		m.fetch = mem.Request{Done: m.fetch.Done}
+		c.mshrFree = append(c.mshrFree, m)
+	}
+	clear(c.mshrs)
+	for _, e := range c.bypasses {
+		clear(e.waiters)
+		e.waiters = e.waiters[:0]
+		e.fwd = mem.Request{Done: e.fwd.Done}
+		c.bypFree = append(c.bypFree, e)
+	}
+	clear(c.bypasses)
+
+	for _, ts := range c.setWaiters {
+		for _, t := range ts {
+			c.putTxn(t)
+		}
+	}
+	clear(c.setWaiters)
+	for _, ts := range c.lineWaiters {
+		for _, t := range ts {
+			c.putTxn(t)
+		}
+	}
+	clear(c.lineWaiters)
+	for _, t := range c.mshrWaiters {
+		c.putTxn(t)
+	}
+	c.mshrWaiters = c.mshrWaiters[:0]
+	for _, t := range c.bypWaiters {
+		c.putTxn(t)
+	}
+	c.bypWaiters = c.bypWaiters[:0]
+
+	c.fwdQ.Reset()
+	c.retryQ.Reset()
+	c.accQ.Reset()
+	c.Stats = stats.CacheStats{}
+}

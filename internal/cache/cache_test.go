@@ -444,3 +444,45 @@ func TestDeterminism(t *testing.T) {
 		t.Fatalf("nondeterministic: (%d,%d,%d) vs (%d,%d,%d)", h1, m1, s1, h2, m2, s2)
 	}
 }
+
+// TestCacheReset checks Reset returns a used cache to a cold, empty,
+// zero-stats state that behaves like a fresh instance.
+func TestCacheReset(t *testing.T) {
+	sim := event.New()
+	lower := newFakeMem(sim, 20)
+	c := New(testConfig(), sim, lower)
+
+	// Warm the cache: a miss-fill, a hit, and a dirty store-combined line.
+	cfgRW := testConfig()
+	cfgRW.StoreAllocate = true
+	d := New(cfgRW, sim, lower)
+	c.Submit(load(1, 0x1000, nil))
+	c.Submit(load(2, 0x1000, nil))
+	d.Submit(store(3, 0x2000, nil))
+	run(t, sim)
+	if c.ValidLines() == 0 || d.DirtyLines() == 0 {
+		t.Fatal("warm-up did not populate the caches")
+	}
+
+	c.Reset()
+	d.Reset()
+	if c.ValidLines() != 0 || c.PendingMisses() != 0 || d.DirtyLines() != 0 {
+		t.Fatalf("reset cache not empty: valid=%d pending=%d dirty=%d",
+			c.ValidLines(), c.PendingMisses(), d.DirtyLines())
+	}
+	if c.Stats.Hits != 0 || c.Stats.Misses != 0 || c.Stats.Stalls != 0 || d.Stats.Misses != 0 {
+		t.Fatalf("reset stats not zeroed: %+v / %+v", c.Stats, d.Stats)
+	}
+
+	// The first access after reset behaves like a cold miss again.
+	sim.Reset()
+	before := lower.count(mem.Load)
+	c.Submit(load(9, 0x1000, nil))
+	run(t, sim)
+	if c.Stats.Misses != 1 || c.Stats.Hits != 0 {
+		t.Fatalf("post-reset access: hits=%d misses=%d, want a cold miss", c.Stats.Hits, c.Stats.Misses)
+	}
+	if lower.count(mem.Load) != before+1 {
+		t.Fatal("post-reset miss did not fetch below")
+	}
+}

@@ -101,6 +101,14 @@ func (d *Directory) Submit(req *mem.Request) {
 	d.hop.Push(d.latency, req)
 }
 
+// Reset drops undelivered fabric traffic and zeroes the request counter,
+// returning the directory to its just-built state. Call it together with
+// the owning Sim's Reset.
+func (d *Directory) Reset() {
+	d.hop.Reset()
+	d.Requests = 0
+}
+
 // Engine applies a Policy to a built memory hierarchy: it decorates GPU
 // requests and performs the coherence actions at kernel boundaries and
 // workload end.
@@ -119,6 +127,13 @@ type Engine struct {
 
 	// Flushes and Invalidations count coherence actions performed.
 	Flushes, Invalidations uint64
+}
+
+// Reset zeroes the coherence-action counters. The engine holds no other
+// run state; the caches it acts on have their own Reset.
+func (e *Engine) Reset() {
+	e.Flushes = 0
+	e.Invalidations = 0
 }
 
 // Decorate marks a GPU request according to the policy. It matches the

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/workloads"
+)
+
+// TestResetEquivalentToFresh is the contract behind system pooling: for
+// every variant, running a workload on a Reset system must produce a
+// snapshot byte-identical to a fresh cold system's. It exercises every
+// layer's Reset — caches (including the shared predictor and rinser),
+// DRAM bank state, GPU wavefront pools, event engine sequences.
+func TestResetEquivalentToFresh(t *testing.T) {
+	cfg := testConfig()
+	// FwPool has loads, stores, reuse, and multiple kernels; it exercises
+	// fills, write combining, flushes, and the kernel-boundary paths.
+	spec, err := workloads.ByName("FwPool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range AllVariants() {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			sys, err := NewSystem(cfg, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := sys.Run(spec.Build(testScale))
+			sys.Reset()
+			again := sys.Run(spec.Build(testScale))
+			if again != fresh {
+				t.Fatalf("reset run differs from fresh run:\nfresh: %+v\nreset: %+v", fresh, again)
+			}
+			// A second reset cycle must also hold (no slow state drift).
+			sys.Reset()
+			third := sys.Run(spec.Build(testScale))
+			if third != fresh {
+				t.Fatalf("second reset run differs from fresh run:\nfresh: %+v\nreset: %+v", fresh, third)
+			}
+		})
+	}
+}
+
+// TestResetNoCrossWorkloadLeakage runs workload A, resets, runs workload
+// B, and checks B's snapshot matches a system that never saw A. This is
+// the exact reuse pattern of the matrix pool (spec-major order hands a
+// variant's system a different workload each time).
+func TestResetNoCrossWorkloadLeakage(t *testing.T) {
+	cfg := testConfig()
+	a, err := workloads.ByName("FwBN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workloads.ByName("BwBN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"CacheRW", "CacheRW-PCby"} {
+		variant, err := VariantByLabel(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reference, err := NewSystem(cfg, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantB := reference.Run(b.Build(testScale))
+
+		reused, err := NewSystem(cfg, variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused.Run(a.Build(testScale))
+		reused.Reset()
+		gotB := reused.Run(b.Build(testScale))
+		if gotB != wantB {
+			t.Fatalf("%s: B after A+Reset differs from B on a fresh system:\nfresh: %+v\nreused: %+v",
+				v, wantB, gotB)
+		}
+	}
+}
+
+// TestSystemPoolReuse checks the pool actually recycles systems per
+// variant and that pooled matrix runs reproduce the unpooled reference.
+func TestSystemPoolReuse(t *testing.T) {
+	cfg := testConfig()
+	specs := smallSpecs(t, "FwSoft", "BwSoft", "FwAct")
+	vs := StaticVariants()
+
+	reference, err := RunMatrixWith(cfg, vs, specs, testScale, RunMatrixOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewSystemPool(cfg)
+	for round := 0; round < 2; round++ {
+		got, err := RunMatrixWith(cfg, vs, specs, testScale, RunMatrixOpts{Workers: 1, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reference {
+			if got[i] != reference[i] {
+				t.Fatalf("round %d cell %d (%s/%s) differs from unpooled reference",
+					round, i, got[i].Workload, got[i].Variant)
+			}
+		}
+	}
+	built, reused := pool.Counts()
+	if built != uint64(len(vs)) {
+		t.Fatalf("pool built %d systems, want one per variant (%d)", built, len(vs))
+	}
+	wantReused := uint64(2*len(specs)*len(vs)) - built
+	if reused != wantReused {
+		t.Fatalf("pool reused %d systems, want %d", reused, wantReused)
+	}
+}
+
+// TestSystemPoolRejectsForeignConfig pins the config-mismatch guards.
+func TestSystemPoolRejectsForeignConfig(t *testing.T) {
+	cfg := testConfig()
+	other := testConfig()
+	other.GPU.CUs = cfg.GPU.CUs * 2
+
+	pool := NewSystemPool(other)
+	if _, err := RunMatrixWith(cfg, StaticVariants(), smallSpecs(t, "FwSoft"), testScale,
+		RunMatrixOpts{Workers: 1, Pool: pool}); err == nil {
+		t.Fatal("RunMatrixWith accepted a pool built for a different Config")
+	}
+
+	sys, err := NewSystem(cfg, StaticVariants()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put accepted a system built with a different Config")
+		}
+	}()
+	pool.Put(sys)
+}
+
+// TestCellPanicNamesCell checks a worker panic reaches the caller
+// wrapped in CellPanic, naming the (workload, variant) cell, with the
+// original panic value preserved.
+func TestCellPanicNamesCell(t *testing.T) {
+	badSpec := workloads.Spec{
+		Name: "Broken",
+		Build: func(s workloads.Scale) workloads.Workload {
+			// A malformed kernel makes gpu.launch panic mid-cell.
+			return workloads.Workload{Name: "Broken", Kernels: []gpu.Kernel{{Name: "bad"}}}
+		},
+	}
+	v, err := VariantByLabel("CacheR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("Workers=%d: cell panic did not propagate", workers)
+				}
+				cp, ok := p.(CellPanic)
+				if !ok {
+					t.Fatalf("Workers=%d: recovered %T, want CellPanic", workers, p)
+				}
+				if cp.Workload != "Broken" || cp.Variant != "CacheR" {
+					t.Fatalf("CellPanic names %s/%s, want Broken/CacheR", cp.Workload, cp.Variant)
+				}
+				if cp.Value == nil {
+					t.Fatal("CellPanic lost the original panic value")
+				}
+				msg := cp.Error()
+				for _, part := range []string{"Broken", "CacheR", "malformed"} {
+					if !strings.Contains(msg, part) {
+						t.Fatalf("panic message %q does not mention %q", msg, part)
+					}
+				}
+			}()
+			// Two specs so the matrix has >1 cell and Workers=2 actually
+			// takes the parallel path; the broken spec comes first.
+			_, _ = RunMatrixWith(testConfig(), []Variant{v},
+				[]workloads.Spec{badSpec, smallSpecs(t, "FwSoft")[0]},
+				testScale, RunMatrixOpts{Workers: workers})
+		}()
+	}
+}

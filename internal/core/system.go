@@ -77,6 +77,32 @@ func NewSystem(cfg Config, v Variant) (*System, error) {
 	}, nil
 }
 
+// Reset returns the system to the observable state of a freshly built
+// one: clock rewound, caches invalidated, predictor and rinser
+// re-seeded, all statistics zeroed. Component object pools and grown
+// buffers keep their capacity, so a reset system re-runs a workload with
+// none of the cold-start allocations of NewSystem — and, because every
+// layer's Reset restores its exact just-built state (including event and
+// request-id sequences), the results are byte-identical to a fresh
+// system's. TestResetEquivalentToFresh pins that contract per variant.
+//
+// Reset is intended between completed runs; calling it mid-run drops
+// in-flight work (pooled objects still in flight are abandoned to the
+// garbage collector, never double-recycled).
+func (s *System) Reset() {
+	s.Sim.Reset()
+	s.GPU.Reset()
+	for _, l1 := range s.L1s {
+		l1.Reset()
+	}
+	s.L2.Reset()
+	s.DRAM.Reset()
+	s.Directory.Reset()
+	s.Engine.Reset()
+	s.Predictor.Reset()
+	s.Rinser.Reset()
+}
+
 // Run executes a built workload to completion (including the final
 // system-scope flush) and returns the run's statistics.
 func (s *System) Run(w workloads.Workload) stats.Snapshot {
@@ -127,6 +153,12 @@ func RunOne(cfg Config, v Variant, spec workloads.Spec, scale workloads.Scale) (
 	if err != nil {
 		return Result{}, err
 	}
+	return runOn(sys, spec, scale), nil
+}
+
+// runOn builds spec's workload, runs it on sys, and assembles the cell
+// Result. It is shared by RunOne (fresh systems) and the matrix pool.
+func runOn(sys *System, spec workloads.Spec, scale workloads.Scale) Result {
 	w := spec.Build(scale)
 	if w.Name == "" {
 		// Custom specs built outside workloads.All() may not stamp the
@@ -134,7 +166,7 @@ func RunOne(cfg Config, v Variant, spec workloads.Spec, scale workloads.Scale) (
 		w.Name = spec.Name
 	}
 	snap := sys.Run(w)
-	return Result{Workload: spec.Name, Class: spec.Class, Variant: v.Label, Snap: snap}, nil
+	return Result{Workload: spec.Name, Class: spec.Class, Variant: sys.Variant.Label, Snap: snap}
 }
 
 // RunMatrixOpts configures RunMatrixWith.
@@ -148,6 +180,13 @@ type RunMatrixOpts struct {
 	// (never concurrent), but with Workers > 1 they come from worker
 	// goroutines.
 	Progress func(done, total int)
+	// Pool, if non-nil, supplies warm systems for the matrix cells and
+	// receives them back afterwards, so repeated matrix runs (sweeps,
+	// benchmarks) skip system construction entirely. It must have been
+	// built with the same Config passed to RunMatrixWith. When nil, a
+	// transient pool scoped to the one call is used: cells of the same
+	// variant still share (reset) systems instead of rebuilding.
+	Pool *SystemPool
 }
 
 // EffectiveWorkers resolves the worker count these options request,
@@ -159,19 +198,26 @@ func (o RunMatrixOpts) EffectiveWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// RunMatrix runs every (spec × variant) combination on cold systems and
-// returns the results in spec-major order. It is the data source for
-// every figure. Cells run concurrently across GOMAXPROCS workers; use
-// RunMatrixWith to control worker count or observe progress.
+// RunMatrix runs every (spec × variant) combination and returns the
+// results in spec-major order. It is the data source for every figure.
+// Each cell observes a cold system: cells of the same variant reuse a
+// pooled System through Reset, which restores the exact just-built
+// state. Cells run concurrently across GOMAXPROCS workers; use
+// RunMatrixWith to control worker count, observe progress, or share a
+// warm SystemPool across calls.
 func RunMatrix(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads.Scale) ([]Result, error) {
 	return RunMatrixWith(cfg, vs, specs, scale, RunMatrixOpts{})
 }
 
-// RunMatrixWith is RunMatrix with explicit options. Every matrix cell
-// builds a fresh cold System, so cells are independent and run in
-// parallel; results are returned in the same deterministic spec-major
-// order and with identical content regardless of worker count, and the
+// RunMatrixWith is RunMatrix with explicit options. Each matrix cell
+// runs on a pooled System that is observably identical to a fresh cold
+// one (see System.Reset), so cells are independent and run in parallel;
+// results are returned in the same deterministic spec-major order and
+// with identical content regardless of worker count or pooling, and the
 // first error in cell order is returned, matching the sequential path.
+// A panic inside a cell (e.g. the deadlock diagnostic in System.Run) is
+// re-raised on the calling goroutine wrapped in CellPanic, naming the
+// (workload, variant) cell it came from.
 func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads.Scale, opts RunMatrixOpts) ([]Result, error) {
 	type cell struct {
 		spec workloads.Spec
@@ -185,6 +231,13 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 	}
 	total := len(cells)
 
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewSystemPool(cfg)
+	} else if pool.cfg != cfg {
+		return nil, fmt.Errorf("core: RunMatrixWith pool was built for a different Config")
+	}
+
 	workers := opts.EffectiveWorkers()
 	if workers > total {
 		workers = total
@@ -192,9 +245,18 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 
 	if workers <= 1 {
 		// Sequential path: no goroutines, stop at the first error.
+		// Panics are labeled with the cell exactly as on the parallel
+		// path, so callers see one behaviour regardless of Workers.
 		out := make([]Result, 0, total)
 		for i, c := range cells {
-			r, err := RunOne(cfg, c.v, c.spec, scale)
+			r, err := func() (Result, error) {
+				defer func() {
+					if p := recover(); p != nil {
+						panic(CellPanic{Workload: c.spec.Name, Variant: c.v.Label, Value: p})
+					}
+				}()
+				return runCell(pool, c.v, c.spec, scale)
+			}()
 			if err != nil {
 				return nil, fmt.Errorf("core: %s under %s: %w", c.spec.Name, c.v.Label, err)
 			}
@@ -226,15 +288,16 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 				// Capture panics (e.g. a deadlocked cell's diagnostic
 				// panic in System.Run) instead of crashing the process
 				// from an unrecoverable worker goroutine; they are
-				// re-raised on the calling goroutine below, keeping
-				// RunMatrix's panic behaviour identical to Workers=1.
+				// re-raised on the calling goroutine below — wrapped in
+				// CellPanic so the failing cell is identifiable from the
+				// panic message alone.
 				func() {
 					defer func() {
 						if p := recover(); p != nil {
-							panics[i] = p
+							panics[i] = CellPanic{Workload: c.spec.Name, Variant: c.v.Label, Value: p}
 						}
 					}()
-					r, err := RunOne(cfg, c.v, c.spec, scale)
+					r, err := runCell(pool, c.v, c.spec, scale)
 					if err != nil {
 						errs[i] = fmt.Errorf("core: %s under %s: %w", c.spec.Name, c.v.Label, err)
 					} else {

@@ -343,6 +343,33 @@ func (d *Controller) countRow(k mem.Kind, hit bool) {
 	}
 }
 
+// Reset returns the controller to the observable state of a freshly
+// built one: every bank closed with an empty queue, buses idle, tickers
+// disarmed, statistics zeroed. Queue buffers keep their capacity. Call
+// it together with the owning Sim's Reset; queued requests are dropped.
+func (d *Controller) Reset() {
+	for i := range d.channels {
+		ch := &d.channels[i]
+		for bi := range ch.banks {
+			b := &ch.banks[bi]
+			for j := range b.entries {
+				b.entries[j] = entry{} // release request pointers
+			}
+			b.entries = b.entries[:0]
+			b.head = 0
+			b.live = 0
+			b.open = false
+			b.openRow = 0
+			b.readyAt = 0
+		}
+		ch.live = 0
+		ch.busFreeAt = 0
+		ch.ticker.Reset()
+	}
+	d.seq = 0
+	d.Stats = stats.DRAMStats{}
+}
+
 // QueueDepth reports the total queued requests (harness diagnostics).
 func (d *Controller) QueueDepth() int {
 	n := 0

@@ -253,3 +253,34 @@ func TestQueueDrains(t *testing.T) {
 		t.Fatalf("accesses = %d, want 200", d.Stats.Accesses())
 	}
 }
+
+// TestControllerReset checks Reset closes every row, empties the queues,
+// and zeroes statistics, so a reset controller times requests like a
+// fresh one (first access is a row miss again, not a row hit).
+func TestControllerReset(t *testing.T) {
+	sim := event.New()
+	d := New(smallConfig(), sim)
+	for i := 0; i < 8; i++ {
+		d.Submit(&mem.Request{ID: uint64(i), Line: mem.Addr(i * mem.LineSize), Kind: mem.Load})
+	}
+	sim.Run()
+	if d.Stats.RowHits == 0 {
+		t.Fatal("warm-up stream produced no row hits")
+	}
+
+	d.Reset()
+	sim.Reset()
+	if d.QueueDepth() != 0 {
+		t.Fatalf("QueueDepth = %d after Reset, want 0", d.QueueDepth())
+	}
+	if d.Stats.Accesses() != 0 || d.Stats.RowHits != 0 {
+		t.Fatalf("reset stats not zeroed: %+v", d.Stats)
+	}
+
+	d.Submit(&mem.Request{ID: 100, Line: 0, Kind: mem.Load})
+	sim.Run()
+	if d.Stats.RowMisses != 1 || d.Stats.RowHits != 0 {
+		t.Fatalf("post-reset first access: hits=%d misses=%d, want one row miss (rows must be closed)",
+			d.Stats.RowHits, d.Stats.RowMisses)
+	}
+}

@@ -160,3 +160,20 @@ func (s *Sim) RunUntil(limit Cycle) bool {
 // MaxQueueLen reports the high-water mark of the event queue, useful for
 // harness diagnostics.
 func (s *Sim) MaxQueueLen() int { return s.maxLen }
+
+// Reset returns the simulator to the state of a freshly built one — cycle
+// 0, nothing fired, empty queue — while keeping the queue's grown
+// capacity, so a reset simulator re-runs without cold-start allocations.
+// Pending events are dropped, not fired. Components that track their own
+// arming state on top of the Sim (Ticker, Queue) must be Reset alongside,
+// or their bookkeeping would reference events that no longer exist.
+func (s *Sim) Reset() {
+	for i := range s.queue {
+		s.queue[i].fn = nil // release callbacks so they can be collected
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.maxLen = 0
+}

@@ -260,3 +260,37 @@ func TestMaxQueueLen(t *testing.T) {
 		t.Fatalf("MaxQueueLen = %d, want 17", s.MaxQueueLen())
 	}
 }
+
+// TestSimReset checks a reset simulator is observably identical to a
+// fresh one: clock at 0, nothing fired, pending events dropped, and the
+// same-cycle FIFO sequence restarted (fire order after a reset matches a
+// fresh sim's, which the reset-equivalence contract depends on).
+func TestSimReset(t *testing.T) {
+	s := New()
+	dropped := false
+	s.Schedule(5, func() {})
+	s.Schedule(9, func() { dropped = true })
+	s.Step()
+
+	s.Reset()
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 || s.MaxQueueLen() != 0 {
+		t.Fatalf("after Reset: now=%d fired=%d pending=%d maxlen=%d, want all 0",
+			s.Now(), s.Fired(), s.Pending(), s.MaxQueueLen())
+	}
+	s.Run()
+	if dropped {
+		t.Fatal("Reset fired a dropped event")
+	}
+
+	// Same-cycle FIFO order restarts identically to a fresh sim.
+	var order []int
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(1, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("post-reset same-cycle order = %v, want [1 2]", order)
+	}
+	if s.Now() != 1 {
+		t.Fatalf("post-reset Now = %d, want 1", s.Now())
+	}
+}

@@ -86,6 +86,19 @@ func (q *Queue[T]) PushAt(t Cycle, v T) {
 // Len returns the number of undelivered entries.
 func (q *Queue[T]) Len() int { return len(q.entries) }
 
+// Reset drops every undelivered entry and the ticker's arming state,
+// keeping the entry buffer's capacity. Call it together with the owning
+// Sim's Reset: the drain events already scheduled there are assumed gone.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := range q.entries {
+		q.entries[i].v = zero // release values so they can be collected
+	}
+	q.entries = q.entries[:0]
+	q.seq = 0
+	q.ticker.Reset()
+}
+
 // drain is the ticker callback: it delivers every due entry in
 // (time, push-order) and re-arms for the earliest remaining entry.
 func (q *Queue[T]) drain() {
@@ -186,6 +199,15 @@ func (t *Ticker) ArmAt(at Cycle) {
 	}
 	t.arms = append(t.arms, at)
 	t.sim.At(at, t.fire)
+}
+
+// Reset forgets every outstanding arm, keeping the stack's capacity.
+// Call it together with the owning Sim's Reset: the fires already
+// scheduled there are assumed dropped. (If a stale fire does survive, it
+// pops nothing and invokes the callback, which is idempotent by the
+// Ticker contract — but the bookkeeping would no longer be exact.)
+func (t *Ticker) Reset() {
+	t.arms = t.arms[:0]
 }
 
 // Armed reports whether any fire is scheduled.

@@ -261,3 +261,60 @@ func TestRunUntilNeverRewinds(t *testing.T) {
 		t.Fatalf("RunUntil(3) on a drained sim rewound the clock to %d, want 20", s.Now())
 	}
 }
+
+// TestQueueReset checks reset drops undelivered entries and the queue
+// keeps working on a reset sim.
+func TestQueueReset(t *testing.T) {
+	s := New()
+	var got []int
+	q := NewQueue(s, func(v int) { got = append(got, v) })
+	q.Push(3, 1)
+	q.Push(7, 2)
+
+	q.Reset()
+	s.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", q.Len())
+	}
+	s.Run()
+	if len(got) != 0 {
+		t.Fatalf("reset queue delivered %v", got)
+	}
+
+	q.Push(2, 42)
+	s.Run()
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("post-reset delivery = %v, want [42]", got)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("post-reset delivery at %d, want 2", s.Now())
+	}
+}
+
+// TestTickerReset checks reset clears the arming stack so a reset ticker
+// re-arms from scratch.
+func TestTickerReset(t *testing.T) {
+	s := New()
+	fires := 0
+	tk := NewTicker(s, func() { fires++ })
+	tk.ArmAt(4)
+
+	tk.Reset()
+	s.Reset()
+	if tk.Armed() {
+		t.Fatal("ticker still armed after Reset")
+	}
+	s.Run()
+	if fires != 0 {
+		t.Fatalf("reset ticker fired %d times", fires)
+	}
+
+	tk.ArmAt(2)
+	if !tk.Armed() || tk.NextFire() != 2 {
+		t.Fatal("ticker did not re-arm after Reset")
+	}
+	s.Run()
+	if fires != 1 {
+		t.Fatalf("post-reset fires = %d, want 1", fires)
+	}
+}

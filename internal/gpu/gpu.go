@@ -103,6 +103,12 @@ type GPU struct {
 	// permanently attached Done closure, so the steady-state memory path
 	// allocates neither a request nor a completion callback per line.
 	reqFree []*pooledReq
+
+	// wfFree and wgFree recycle wavefront contexts (with their coalescer
+	// scratch buffers) and workgroup records, so steady-state dispatch
+	// allocates only the workload's Program objects.
+	wfFree []*wavefront
+	wgFree []*workgroup
 }
 
 // pooledReq pairs a recyclable request with the wavefront it currently
@@ -132,6 +138,47 @@ func (g *GPU) complete(pr *pooledReq) {
 	pr.wf = nil
 	g.reqFree = append(g.reqFree, pr)
 	wf.response()
+}
+
+// getWave hands out a zeroed wavefront context, reusing a recycled one
+// (and its grown coalescing scratch) when available.
+func (g *GPU) getWave() *wavefront {
+	if n := len(g.wfFree); n > 0 {
+		wf := g.wfFree[n-1]
+		g.wfFree[n-1] = nil
+		g.wfFree = g.wfFree[:n-1]
+		return wf
+	}
+	return &wavefront{}
+}
+
+// putWave recycles a wavefront context, keeping its scratch buffer.
+func (g *GPU) putWave(wf *wavefront) {
+	buf := wf.linesBuf
+	*wf = wavefront{linesBuf: buf[:0]}
+	g.wfFree = append(g.wfFree, wf)
+}
+
+// getWG hands out a cleared workgroup record.
+func (g *GPU) getWG() *workgroup {
+	if n := len(g.wgFree); n > 0 {
+		wg := g.wgFree[n-1]
+		g.wgFree[n-1] = nil
+		g.wgFree = g.wgFree[:n-1]
+		return wg
+	}
+	return &workgroup{}
+}
+
+// putWG recycles a finished workgroup record, keeping its barrier-list
+// capacity. Retired waves may still hold a pointer to it; they never
+// read it again.
+func (g *GPU) putWG(wg *workgroup) {
+	wg.cu = nil
+	wg.live = 0
+	wg.atBarrier = 0
+	wg.barWaves = wg.barWaves[:0]
+	g.wgFree = append(g.wgFree, wg)
 }
 
 // New builds a GPU. ports must have one entry per CU.
@@ -304,7 +351,9 @@ func (c *cu) freeSlots() int {
 // place instantiates a workgroup's wavefronts on this CU, spreading them
 // across SIMDs by free capacity.
 func (c *cu) place(k *Kernel, wgID int) {
-	wg := &workgroup{cu: c, live: k.WavesPerWG}
+	wg := c.g.getWG()
+	wg.cu = c
+	wg.live = k.WavesPerWG
 	for w := 0; w < k.WavesPerWG; w++ {
 		// Pick the SIMD with the most free slots (ties: lowest id).
 		best := -1
@@ -322,13 +371,12 @@ func (c *cu) place(k *Kernel, wgID int) {
 		s := c.simds[best]
 		s.compact()
 		c.g.waveSeq++
-		wf := &wavefront{
-			id:      c.g.waveSeq,
-			wg:      wg,
-			simd:    s,
-			prog:    k.NewProgram(wgID, w),
-			waitMax: -1,
-		}
+		wf := c.g.getWave()
+		wf.id = c.g.waveSeq
+		wf.wg = wg
+		wf.simd = s
+		wf.prog = k.NewProgram(wgID, w)
+		wf.waitMax = -1
 		s.waves = append(s.waves, wf)
 		s.arm()
 	}
@@ -422,13 +470,19 @@ func (s *simd) tick() {
 	// and barrier-release paths re-arm the SIMD.
 }
 
-// compact removes retired wavefronts.
+// compact removes retired wavefronts, recycling their contexts.
 func (s *simd) compact() {
-	out := s.waves[:0]
-	for _, wf := range s.waves {
+	all := s.waves
+	out := all[:0]
+	for _, wf := range all {
 		if !wf.retired {
 			out = append(out, wf)
+		} else {
+			s.cu.g.putWave(wf)
 		}
+	}
+	for i := len(out); i < len(all); i++ {
+		all[i] = nil // drop stale duplicates of recycled waves
 	}
 	s.waves = out
 	if s.rr >= len(s.waves) {
@@ -608,11 +662,18 @@ func (wf *wavefront) response() {
 }
 
 func (wf *wavefront) maybeRetire() {
-	if wf.retired || wf.outstanding > 0 {
+	// The !draining guard also rejects a stale scheduled retire event
+	// firing on a recycled-and-reused wavefront context: a wave placed
+	// this cycle cannot have started draining yet.
+	if wf.retired || !wf.draining || wf.outstanding > 0 {
 		return
 	}
 	wf.retired = true
-	g := wf.simd.cu.g
+	// workgroupFinished below can synchronously dispatch a new
+	// workgroup onto this SIMD, whose place() compacts and recycles wf;
+	// keep the simd reference for the final arm.
+	sd := wf.simd
+	g := sd.cu.g
 	g.Stats.WavesRetired++
 	wg := wf.wg
 	wg.live--
@@ -628,7 +689,43 @@ func (wf *wavefront) maybeRetire() {
 		wg.barWaves = wg.barWaves[:0]
 	}
 	if wg.live == 0 {
+		g.putWG(wg)
 		g.workgroupFinished()
 	}
-	wf.simd.arm()
+	sd.arm()
+}
+
+// Reset returns the GPU to the observable state of a freshly built one:
+// statistics zeroed, request-id and wavefront sequences restarted,
+// dispatch idle, resident wavefronts dropped and recycled. The object
+// pools (line requests, wavefronts, workgroups) and their grown scratch
+// buffers keep their capacity, so a reset GPU re-runs a workload without
+// cold-start allocations. Call it together with the Sim's Reset; pooled
+// requests that were in flight at reset time are abandoned to the
+// garbage collector.
+func (g *GPU) Reset() {
+	g.Stats = Stats{}
+	g.ids.Reset()
+	g.waveSeq = 0
+	g.dispatchRR = 0
+	g.dispatchBusy = false
+	g.kernels = nil
+	g.kernelIdx = 0
+	g.wgNext = 0
+	g.wgDone = 0
+	g.current = nil
+	g.finished = nil
+	for _, c := range g.cus {
+		c.sq.Reset()
+		for _, s := range c.simds {
+			for i, wf := range s.waves {
+				g.putWave(wf)
+				s.waves[i] = nil
+			}
+			s.waves = s.waves[:0]
+			s.rr = 0
+			s.busyUntil = 0
+			s.ticker.Reset()
+		}
+	}
 }

@@ -106,3 +106,7 @@ type IDSource struct{ next uint64 }
 
 // Next returns a fresh request id.
 func (s *IDSource) Next() uint64 { s.next++; return s.next }
+
+// Reset restarts the sequence from 1, so a reset component hands out the
+// same ids a fresh one would.
+func (s *IDSource) Reset() { s.next = 0 }

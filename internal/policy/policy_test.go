@@ -241,3 +241,52 @@ func TestPropertyRinserConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPredictorReset checks Reset re-seeds the counters to the initial
+// bias and zeroes the query stats.
+func TestPredictorReset(t *testing.T) {
+	p := NewPCPredictor(PredictorConfig{Entries: 16, Max: 7, Threshold: 2, Initial: 3})
+	const pc = 0x40
+	for i := 0; i < 10; i++ {
+		p.OnEvict(pc, false)
+	}
+	if !p.ShouldBypass(pc, mem.Load) {
+		t.Fatal("training did not drive the counter below threshold")
+	}
+
+	p.Reset()
+	if p.Counter(pc) != 3 {
+		t.Fatalf("post-reset counter = %d, want the initial bias 3", p.Counter(pc))
+	}
+	if p.Lookups != 0 || p.BypassHints != 0 {
+		t.Fatalf("post-reset stats not zeroed: lookups=%d hints=%d", p.Lookups, p.BypassHints)
+	}
+	if p.ShouldBypass(pc, mem.Load) {
+		t.Fatal("reset predictor must be biased toward caching again")
+	}
+}
+
+// TestRinserReset checks Reset forgets all tracked rows.
+func TestRinserReset(t *testing.T) {
+	r := NewRowRinser(func(a mem.Addr) uint64 { return uint64(a) >> 8 }, 4)
+	r.OnDirty(0x100)
+	r.OnDirty(0x140)
+	r.OnDirty(0x200)
+	if r.TrackedRows() != 2 {
+		t.Fatalf("TrackedRows = %d, want 2", r.TrackedRows())
+	}
+
+	r.Reset()
+	if r.TrackedRows() != 0 || r.Evictions != 0 {
+		t.Fatalf("post-reset: rows=%d evictions=%d, want 0/0", r.TrackedRows(), r.Evictions)
+	}
+	if got := r.RowMates(0x140); len(got) != 0 {
+		t.Fatalf("RowMates after Reset = %v, want empty", got)
+	}
+	// The index keeps working after a reset.
+	r.OnDirty(0x100)
+	r.OnDirty(0x140)
+	if got := r.RowMates(0x140); len(got) != 1 || got[0] != 0x100 {
+		t.Fatalf("post-reset RowMates = %v, want [0x100]", got)
+	}
+}

@@ -25,6 +25,7 @@ type PCPredictor struct {
 	mask      uint64
 	max       int8
 	threshold int8
+	initial   int8 // the cold-counter seed, reapplied by Reset
 
 	// Lookups, BypassHints count predictor queries and bypass answers.
 	Lookups, BypassHints uint64
@@ -63,11 +64,20 @@ func NewPCPredictor(cfg PredictorConfig) *PCPredictor {
 		mask:      uint64(cfg.Entries - 1),
 		max:       cfg.Max,
 		threshold: cfg.Threshold,
+		initial:   cfg.Initial,
 	}
-	for i := range p.table {
-		p.table[i] = cfg.Initial
-	}
+	p.Reset()
 	return p
+}
+
+// Reset re-seeds every counter to the configured initial bias and zeroes
+// the query counters, returning the predictor to its just-built state.
+func (p *PCPredictor) Reset() {
+	for i := range p.table {
+		p.table[i] = p.initial
+	}
+	p.Lookups = 0
+	p.BypassHints = 0
 }
 
 func (p *PCPredictor) idx(pc uint64) uint64 {

@@ -103,5 +103,13 @@ func (r *RowRinser) RowMates(line mem.Addr) []mem.Addr {
 	return out
 }
 
+// Reset forgets every tracked row, returning the index to its just-built
+// state while keeping map and slice capacity.
+func (r *RowRinser) Reset() {
+	clear(r.rows)
+	r.order = r.order[:0]
+	r.Evictions = 0
+}
+
 // TrackedRows reports how many rows currently have dirty lines.
 func (r *RowRinser) TrackedRows() int { return len(r.rows) }
