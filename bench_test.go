@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/mem"
 	"repro/internal/report"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -253,6 +255,38 @@ func BenchmarkRunMatrixParallel(b *testing.B) {
 			core.RunMatrixOpts{Pool: pool}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunMatrixWorkers sweeps the worker count on a pooled matrix,
+// exposing the scaling curve of the lock-free aggregation path: with
+// per-worker totals slabs and slot-array results there is no shared
+// write on the per-cell path, so on multicore hosts ns/op should fall
+// near-linearly until the matrix runs out of cells or the host out of
+// cores. (On a single-core host all counts collapse to the sequential
+// time.)
+func BenchmarkRunMatrixWorkers(b *testing.B) {
+	cfg := benchConfig()
+	specs := matrixBenchSpecs(b)
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			pool := core.NewSystemPool(cfg)
+			var tot stats.Snapshot
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunMatrixWith(cfg, core.StaticVariants(), specs, benchScale,
+					core.RunMatrixOpts{Workers: workers, Pool: pool, TotalsOut: &tot}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tot.Cycles), "sim_cycles")
+		})
 	}
 }
 

@@ -280,5 +280,8 @@ func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, worke
 	for _, f := range figs {
 		report.RenderFigure(os.Stdout, figMap[f], m, csv)
 	}
+	if !csv {
+		report.RenderTotals(os.Stdout, results)
+	}
 	return nil
 }

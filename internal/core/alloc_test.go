@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestTotalsAllocationFree pins the zero-allocation contract of the
+// matrix aggregation path: merging cell snapshots — the same Add chain
+// the per-worker slabs and the post-barrier merge run — must not touch
+// the heap, so wide sweeps aggregate without GC pressure.
+func TestTotalsAllocationFree(t *testing.T) {
+	rs, err := RunMatrixWith(testConfig(), StaticVariants(), smallSpecs(t, "FwSoft"),
+		testScale, RunMatrixOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink stats.Snapshot
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = Totals(rs)
+	})
+	if allocs != 0 {
+		t.Fatalf("Totals allocates %v/op, want 0", allocs)
+	}
+	if sink.Cycles == 0 {
+		t.Fatal("Totals summed nothing")
+	}
+
+	// The per-worker slab merge is the same primitive.
+	slabs := make([]stats.Snapshot, 4)
+	for i := range slabs {
+		slabs[i] = rs[i%len(rs)].Snap
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		var agg stats.Snapshot
+		for i := range slabs {
+			agg.Add(slabs[i])
+		}
+		sink = agg
+	})
+	if allocs != 0 {
+		t.Fatalf("slab merge allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestTotalsOutMatchesTotals checks the aggregation RunMatrixWith
+// performs inline (per-worker slabs, merged after the barrier) equals
+// the deterministic cell-order sum, on both paths.
+func TestTotalsOutMatchesTotals(t *testing.T) {
+	cfg := testConfig()
+	specs := smallSpecs(t, "FwSoft", "BwSoft")
+	for _, workers := range []int{1, 4} {
+		var tot stats.Snapshot
+		rs, err := RunMatrixWith(cfg, StaticVariants(), specs, testScale,
+			RunMatrixOpts{Workers: workers, TotalsOut: &tot})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Totals(rs); tot != want {
+			t.Fatalf("Workers=%d: TotalsOut %+v != Totals %+v", workers, tot, want)
+		}
+	}
+}

@@ -105,6 +105,9 @@ func DefaultConfig() Config {
 
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
+	if err := c.GPU.Validate(); err != nil {
+		return err
+	}
 	if c.GPUClockMHz <= 0 {
 		return fmt.Errorf("core: GPUClockMHz must be positive")
 	}

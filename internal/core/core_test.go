@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/coherence"
+	"repro/internal/gpu"
 	"repro/internal/workloads"
 )
 
@@ -41,6 +42,18 @@ func TestConfigValidateCatchesErrors(t *testing.T) {
 	bad.L1.SizeBytes = 0
 	if bad.Validate() == nil {
 		t.Fatal("empty L1 accepted")
+	}
+	// The GPU sub-config is validated through the system config, so user
+	// input (micache -cus) errors instead of panicking in gpu.New.
+	bad = DefaultConfig()
+	bad.GPU.CUs = gpu.MaxCUs + 1
+	if bad.Validate() == nil {
+		t.Fatal("absurd CU count accepted")
+	}
+	bad = DefaultConfig()
+	bad.GPU.SIMDsPerCU = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero SIMDs accepted")
 	}
 }
 

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TestRunMatrixRandomizedDifferential generalizes the fixed-matrix
+// determinism test: seeded random (workloads, variants, scale, workers)
+// tuples must produce byte-identical results on every execution path —
+// sequential, parallel at a random worker count, and pooled (both a
+// cold shared pool and the same pool warm on a second round). The
+// sequential fresh-pool run is the reference; everything else must
+// reproduce it exactly, including the lock-free per-worker totals
+// aggregation.
+func TestRunMatrixRandomizedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x51EED))
+	all := workloads.All()
+	vars := AllVariants()
+	cfg := testConfig()
+
+	iters := 3
+	if testing.Short() {
+		iters = 1
+	}
+	for i := 0; i < iters; i++ {
+		// 2 specs × 2 variants so worker counts > 1 genuinely exercise
+		// the parallel path (workers clamp to the cell count).
+		s1 := rng.Intn(len(all))
+		s2 := (s1 + 1 + rng.Intn(len(all)-1)) % len(all)
+		v1 := rng.Intn(len(vars))
+		v2 := (v1 + 1 + rng.Intn(len(vars)-1)) % len(vars)
+		specs := []workloads.Spec{all[s1], all[s2]}
+		vs := []Variant{vars[v1], vars[v2]}
+		// Scales stay small so a drawn CM/RNN cell (millions of cycles
+		// at full scale) keeps the whole test in the tens of seconds.
+		scale := workloads.Scale(0.004 + 0.012*rng.Float64())
+		workers := 2 + rng.Intn(6)
+
+		label := func(kind string) string {
+			return kind + " " + specs[0].Name + "+" + specs[1].Name + "/" +
+				vs[0].Label + "+" + vs[1].Label
+		}
+
+		var refTotals stats.Snapshot
+		ref, err := RunMatrixWith(cfg, vs, specs, scale, RunMatrixOpts{
+			Workers: 1, TotalsOut: &refTotals,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label("sequential"), err)
+		}
+		if want := Totals(ref); refTotals != want {
+			t.Fatalf("%s: sequential TotalsOut %+v != Totals %+v", label("sequential"), refTotals, want)
+		}
+
+		var parTotals stats.Snapshot
+		par, err := RunMatrixWith(cfg, vs, specs, scale, RunMatrixOpts{
+			Workers: workers, TotalsOut: &parTotals,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label("parallel"), err)
+		}
+		if !reflect.DeepEqual(par, ref) {
+			t.Fatalf("%s (workers=%d, scale=%g): parallel results differ from sequential",
+				label("parallel"), workers, scale)
+		}
+		if parTotals != refTotals {
+			t.Fatalf("%s: per-worker aggregated totals %+v != sequential %+v",
+				label("parallel"), parTotals, refTotals)
+		}
+
+		pool := NewSystemPool(cfg)
+		for round := 0; round < 2; round++ {
+			got, err := RunMatrixWith(cfg, vs, specs, scale, RunMatrixOpts{
+				Workers: workers, Pool: pool,
+			})
+			if err != nil {
+				t.Fatalf("%s round %d: %v", label("pooled"), round, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("%s (workers=%d, scale=%g) round %d: pooled results differ from fresh",
+					label("pooled"), workers, scale, round)
+			}
+		}
+	}
+}

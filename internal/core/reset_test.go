@@ -40,6 +40,13 @@ func TestResetEquivalentToFresh(t *testing.T) {
 			if third != fresh {
 				t.Fatalf("second reset run differs from fresh run:\nfresh: %+v\nreset: %+v", fresh, third)
 			}
+			// The per-CU front-end shard state (stats slabs, occupancy,
+			// ready heaps) must also clear: a reset GPU reports exactly
+			// a fresh GPU's zero counters.
+			sys.Reset()
+			if st := sys.GPU.Stats(); st != (gpu.Stats{}) {
+				t.Fatalf("GPU shard slabs survived Reset: %+v", st)
+			}
 		})
 	}
 }

@@ -122,21 +122,45 @@ func (s *System) Run(w workloads.Workload) stats.Snapshot {
 	return s.Snapshot(w)
 }
 
-// Snapshot assembles the statistics of the run so far.
+// Snapshot assembles the statistics of the run so far. The GPU's
+// per-shard counter slabs are summed here, once, rather than on the
+// issue path.
 func (s *System) Snapshot(w workloads.Workload) stats.Snapshot {
+	gs := s.GPU.Stats()
 	snap := stats.Snapshot{
 		Cycles:         uint64(s.Sim.Now()),
-		VectorOps:      s.GPU.Stats.VectorOps,
-		GPUMemRequests: s.GPU.Stats.MemRequests,
+		VectorOps:      gs.VectorOps,
+		GPUMemRequests: gs.MemRequests,
 		DRAM:           s.DRAM.Stats,
-		Kernels:        s.GPU.Stats.KernelsRun,
+		Kernels:        gs.KernelsRun,
 		FootprintBytes: w.FootprintBytes,
 	}
-	for _, l1 := range s.L1s {
-		snap.L1.Add(l1.Stats)
-	}
+	snap.L1 = sumCacheStats(s.L1s)
 	snap.L2 = s.L2.Stats()
 	return snap
+}
+
+// sumCacheStats merges the per-instance counters of one cache level.
+// It is the one place the harness folds an L1 slice into a Snapshot;
+// System.Snapshot and MemorySystem.Snapshot both use it.
+func sumCacheStats(cs []*cache.Cache) stats.CacheStats {
+	var out stats.CacheStats
+	for _, c := range cs {
+		out.Add(c.Stats)
+	}
+	return out
+}
+
+// Totals sums every cell snapshot of a result list into one aggregate
+// Snapshot, in deterministic cell order. It allocates nothing: sweeps
+// and long-lived harnesses can call it per matrix without GC pressure
+// (pinned by TestTotalsAllocationFree).
+func Totals(rs []Result) stats.Snapshot {
+	var out stats.Snapshot
+	for i := range rs {
+		out.Add(rs[i].Snap)
+	}
+	return out
 }
 
 // Result is one (workload, variant) measurement.
@@ -187,6 +211,13 @@ type RunMatrixOpts struct {
 	// transient pool scoped to the one call is used: cells of the same
 	// variant still share (reset) systems instead of rebuilding.
 	Pool *SystemPool
+	// TotalsOut, if non-nil, receives the sum of every cell snapshot
+	// (see Totals). On the parallel path each worker accumulates into
+	// its own pre-sized slab slot — no channel, no mutex, no atomics on
+	// the per-cell path — and the slabs merge deterministically after
+	// the workers join. Snapshot addition is commutative, so the result
+	// is identical to the sequential cell-order sum.
+	TotalsOut *stats.Snapshot
 }
 
 // EffectiveWorkers resolves the worker count these options request,
@@ -265,19 +296,31 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 				opts.Progress(i+1, total)
 			}
 		}
+		if opts.TotalsOut != nil {
+			*opts.TotalsOut = Totals(out)
+		}
 		return out, nil
 	}
 
+	// Parallel path. Every per-cell structure is a pre-sized slot array
+	// indexed by cell or worker: a worker's only cross-goroutine traffic
+	// per cell is the one atomic work-counter increment. Results, errors,
+	// panics, and the per-worker snapshot-aggregation slabs are all
+	// written to slots no other goroutine touches until after the join —
+	// no channel, no mutex on the hot path. (The optional Progress
+	// callback is the documented exception: its calls are serialized
+	// under a mutex, which callers opt into by setting it.)
 	results := make([]Result, total)
 	errs := make([]error, total)
 	panics := make([]any, total)
+	workerTotals := make([]stats.Snapshot, workers)
 	var next atomic.Int64
 	var progressMu sync.Mutex
 	progressDone := 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slab *stats.Snapshot) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -302,6 +345,9 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 						errs[i] = fmt.Errorf("core: %s under %s: %w", c.spec.Name, c.v.Label, err)
 					} else {
 						results[i] = r
+						if opts.TotalsOut != nil {
+							slab.Add(r.Snap)
+						}
 					}
 				}()
 				if opts.Progress != nil {
@@ -311,7 +357,7 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 					progressMu.Unlock()
 				}
 			}
-		}()
+		}(&workerTotals[w])
 	}
 	wg.Wait()
 	// First-panic, then first-error propagation in cell order, as the
@@ -325,6 +371,16 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 		if err != nil {
 			return nil, err
 		}
+	}
+	if opts.TotalsOut != nil {
+		// Deterministic merge after the barrier: worker-index order.
+		// Field-wise sums commute, so this equals the sequential
+		// cell-order total.
+		var agg stats.Snapshot
+		for i := range workerTotals {
+			agg.Add(workerTotals[i])
+		}
+		*opts.TotalsOut = agg
 	}
 	return results, nil
 }

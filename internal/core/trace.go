@@ -76,9 +76,7 @@ func (ms *MemorySystem) Snapshot() stats.Snapshot {
 		Cycles: uint64(ms.Sim.Now()),
 		DRAM:   ms.DRAM.Stats,
 	}
-	for _, l1 := range ms.L1s {
-		snap.L1.Add(l1.Stats)
-	}
+	snap.L1 = sumCacheStats(ms.L1s)
 	snap.L2 = ms.L2.Stats()
 	return snap
 }

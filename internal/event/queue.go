@@ -86,6 +86,24 @@ func (q *Queue[T]) PushAt(t Cycle, v T) {
 // Len returns the number of undelivered entries.
 func (q *Queue[T]) Len() int { return len(q.entries) }
 
+// Armed reports whether a drain fire is scheduled that will deliver.
+func (q *Queue[T]) Armed() bool { return q.ticker.Armed() }
+
+// Disarm drops every undelivered entry and silences the outstanding
+// drain fires (see Ticker.Disarm), keeping the entry buffer's capacity.
+// Unlike Reset it is safe while the owning Sim still holds the drain
+// events: they fire as no-ops. Idle components (an empty GPU front-end
+// shard) use it to shed pending work without event cancellation; a
+// later Push re-arms normally.
+func (q *Queue[T]) Disarm() {
+	var zero T
+	for i := range q.entries {
+		q.entries[i].v = zero // release values so they can be collected
+	}
+	q.entries = q.entries[:0]
+	q.ticker.Disarm()
+}
+
 // Reset drops every undelivered entry and the ticker's arming state,
 // keeping the entry buffer's capacity. Call it together with the owning
 // Sim's Reset: the drain events already scheduled there are assumed gone.
@@ -168,7 +186,10 @@ type Ticker struct {
 	sim  *Sim
 	fn   Func
 	arms []Cycle // strictly decreasing stack of scheduled fire times
-	fire Func    // built once; every arm reuses it
+	// alive counts the top arms whose fires invoke the callback; the
+	// arms below them were cut loose by Disarm and fire as no-ops.
+	alive int
+	fire  Func // built once; every arm reuses it
 }
 
 // NewTicker builds a ticker that runs fn when fired.
@@ -180,6 +201,10 @@ func NewTicker(sim *Sim, fn Func) *Ticker {
 	t.fire = func() {
 		if n := len(t.arms); n > 0 {
 			t.arms = t.arms[:n-1]
+			if t.alive == 0 {
+				return // a fire Disarm orphaned: pop the bookkeeping only
+			}
+			t.alive--
 		}
 		t.fn()
 	}
@@ -189,17 +214,31 @@ func NewTicker(sim *Sim, fn Func) *Ticker {
 // ArmAt schedules the callback to run at cycle at (clamped to now). If a
 // fire is already scheduled at an earlier-or-equal cycle, the request
 // coalesces into it: that fire's callback is responsible for re-arming
-// if its work is not done.
+// if its work is not done. On a disarmed ticker the earliest orphaned
+// fire is revived instead when it is due at or before the requested
+// cycle — the callback may then run earlier than requested, which the
+// Ticker contract already allows.
 func (t *Ticker) ArmAt(at Cycle) {
 	if now := t.sim.Now(); at < now {
 		at = now
 	}
 	if n := len(t.arms); n > 0 && t.arms[n-1] <= at {
+		if t.alive == 0 {
+			t.alive = 1
+		}
 		return
 	}
 	t.arms = append(t.arms, at)
+	t.alive++
 	t.sim.At(at, t.fire)
 }
+
+// Disarm turns every outstanding fire into a no-op: the scheduled
+// events still pop their bookkeeping when they come due, but the
+// callback is not invoked. Idle components (an empty GPU front-end
+// shard) use it to shed stale wake-ups without event cancellation; a
+// later ArmAt re-enables the ticker.
+func (t *Ticker) Disarm() { t.alive = 0 }
 
 // Reset forgets every outstanding arm, keeping the stack's capacity.
 // Call it together with the owning Sim's Reset: the fires already
@@ -208,10 +247,12 @@ func (t *Ticker) ArmAt(at Cycle) {
 // Ticker contract — but the bookkeeping would no longer be exact.)
 func (t *Ticker) Reset() {
 	t.arms = t.arms[:0]
+	t.alive = 0
 }
 
-// Armed reports whether any fire is scheduled.
-func (t *Ticker) Armed() bool { return len(t.arms) > 0 }
+// Armed reports whether any fire is scheduled that will invoke the
+// callback.
+func (t *Ticker) Armed() bool { return t.alive > 0 }
 
 // NextFire returns the earliest scheduled fire time; valid only when
 // Armed.

@@ -182,6 +182,57 @@ func TestTickerCoalescesArms(t *testing.T) {
 	}
 }
 
+func TestTickerDisarmSilencesOutstandingFires(t *testing.T) {
+	s := New()
+	fired := 0
+	tk := NewTicker(s, func() { fired++ })
+	tk.ArmAt(5)
+	tk.ArmAt(3) // stack [5, 3]; two events scheduled
+	tk.Disarm()
+	if tk.Armed() {
+		t.Fatal("disarmed ticker reports Armed")
+	}
+	s.Run()
+	if fired != 0 {
+		t.Fatalf("disarmed ticker fired %d times, want 0", fired)
+	}
+}
+
+func TestTickerRearmAfterDisarmRevivesEarliestFire(t *testing.T) {
+	s := New()
+	var at []Cycle
+	var tk *Ticker
+	tk = NewTicker(s, func() { at = append(at, s.Now()) })
+	tk.ArmAt(10)
+	tk.Disarm()
+	// Re-arming for a later cycle revives the orphaned earlier fire:
+	// the callback runs early (contractually fine — it re-checks) and
+	// exactly once, not twice.
+	tk.ArmAt(15)
+	if !tk.Armed() {
+		t.Fatal("re-armed ticker reports disarmed")
+	}
+	s.Run()
+	if len(at) != 1 || at[0] != 10 {
+		t.Fatalf("fire times = %v, want [10] (revived early fire)", at)
+	}
+}
+
+func TestTickerRearmAfterDisarmAtEarlierCycle(t *testing.T) {
+	s := New()
+	var at []Cycle
+	var tk *Ticker
+	tk = NewTicker(s, func() { at = append(at, s.Now()) })
+	tk.ArmAt(10)
+	tk.Disarm()
+	tk.ArmAt(4) // earlier than the orphaned fire: a fresh event
+	s.Run()
+	// The fresh arm fires at 4; the orphaned fire at 10 stays silent.
+	if len(at) != 1 || at[0] != 4 {
+		t.Fatalf("fire times = %v, want [4]", at)
+	}
+}
+
 func TestTickerEarlierArmFires(t *testing.T) {
 	s := New()
 	var at []Cycle

@@ -62,8 +62,8 @@ func TestDispatchRefillsFreedSlots(t *testing.T) {
 	}
 	g.RunWorkload([]Kernel{simpleKernel("refill", 64, 4, prog)}, nil)
 	sim.Run()
-	if g.Stats.WavesRetired != 256 {
-		t.Fatalf("retired %d waves, want 256", g.Stats.WavesRetired)
+	if g.Stats().WavesRetired != 256 {
+		t.Fatalf("retired %d waves, want 256", g.Stats().WavesRetired)
 	}
 	a, b := len(ports[0].arrived), len(ports[1].arrived)
 	if a == 0 || b == 0 {

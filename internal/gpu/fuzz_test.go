@@ -1,0 +1,87 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// FuzzGPUConfigValidate fuzzes Config over arbitrary parameter tuples
+// and asserts the validate-then-build contract: either Validate rejects
+// the configuration with an error, or New builds a working GPU that can
+// run a one-workgroup kernel to completion — never a panic, never a
+// hang. Construction is only exercised for configurations small enough
+// to build in microseconds; Validate's verdict is asserted for all of
+// them.
+func FuzzGPUConfigValidate(f *testing.F) {
+	d := DefaultConfig()
+	f.Add(d.CUs, d.SIMDsPerCU, d.MaxWavesPerSIMD, d.WavefrontWidth, d.MLPLimit,
+		uint64(d.LaunchLatency), uint64(d.DispatchInterval))
+	f.Add(0, 0, 0, 0, 0, uint64(0), uint64(0))
+	f.Add(-1, 4, 10, 64, 32, uint64(1200), uint64(8))
+	f.Add(1, 1, 1, 1, 1, uint64(0), uint64(0))
+	f.Add(1<<20, 1<<20, 1<<20, 1<<20, 1<<30, uint64(1), uint64(1))
+	f.Fuzz(func(t *testing.T, cus, simds, waves, width, mlp int, launch, dispatch uint64) {
+		cfg := Config{
+			CUs: cus, SIMDsPerCU: simds, MaxWavesPerSIMD: waves,
+			WavefrontWidth: width, MLPLimit: mlp,
+			LaunchLatency:    event.Cycle(launch),
+			DispatchInterval: event.Cycle(dispatch),
+		}
+		err := cfg.Validate()
+		if err != nil {
+			if cus > 0 && cus <= MaxCUs &&
+				simds > 0 && simds <= MaxSIMDsPerCU &&
+				waves > 0 && waves <= MaxWavesPerSIMDCap &&
+				width > 0 && width <= MaxWavefrontWidth &&
+				mlp > 0 && mlp <= MaxMLPLimit &&
+				cfg.LaunchLatency <= MaxLatencyCycles &&
+				cfg.DispatchInterval <= MaxLatencyCycles {
+				t.Fatalf("in-range config rejected: %v", err)
+			}
+			return
+		}
+		if cus <= 0 || simds <= 0 || waves <= 0 || width <= 0 || mlp <= 0 {
+			t.Fatalf("non-positive config accepted: %+v", cfg)
+		}
+		// Keep one fuzz execution cheap: only construct and run GPUs
+		// whose wave-slot count is modest. Validate has already passed
+		// judgement on the rest. LaunchLatency and DispatchInterval are
+		// NOT bounded here: any validated pacing must run (the event
+		// engine jumps idle cycles, so huge latencies cost nothing), and
+		// the two-kernel multi-workgroup workload below exercises both.
+		if cus > 64 || simds*waves > 1024 {
+			return
+		}
+		sim := event.New()
+		ports := make([]cache.Port, cfg.CUs)
+		for i := range ports {
+			ports[i] = &quietPort{sim: sim, lat: 10}
+		}
+		g := New(cfg, sim, ports)
+		finished := false
+		// Two kernels of two workgroups each: the second launch pays
+		// LaunchLatency and the second placement pays DispatchInterval,
+		// so validated pacing values are genuinely scheduled.
+		k := Kernel{
+			Name: "fuzz", Workgroups: 2, WavesPerWG: 1,
+			NewProgram: func(wg, wave int) Program {
+				return NewSliceProgram([]Instr{
+					MemAccess{Kind: mem.Load, Base: 0, Stride: 4, Lanes: width},
+					WaitCnt{Max: 0},
+					Compute{VectorOps: 1, Cycles: 1},
+				})
+			},
+		}
+		g.RunWorkload([]Kernel{k, k}, func() { finished = true })
+		sim.Run()
+		if !finished {
+			t.Fatalf("valid config %+v deadlocked a trivial kernel", cfg)
+		}
+		if got := g.Stats(); got.WavesRetired != 4 || got.KernelsRun != 2 {
+			t.Fatalf("valid config %+v miscounted: %+v", cfg, got)
+		}
+	})
+}

@@ -45,17 +45,51 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c *Config) validate() error {
+// Sanity ceilings for Validate. They are far above any machine the
+// paper models (Table 1 is 64 CUs × 4 SIMDs); their purpose is to turn
+// absurd configurations — fuzzers, corrupted config files — into errors
+// before New tries to allocate per-CU state for them.
+const (
+	MaxCUs             = 1 << 16
+	MaxSIMDsPerCU      = 1 << 8
+	MaxWavesPerSIMDCap = 1 << 12
+	MaxWavefrontWidth  = 1 << 12
+	MaxMLPLimit        = 1 << 20
+	// MaxLatencyCycles bounds LaunchLatency and DispatchInterval: far
+	// above any real pacing (≈2.7 simulated seconds at 1.6 GHz), but
+	// small enough that launch/dispatch schedule arithmetic can never
+	// wrap the uint64 cycle clock into a scheduling-in-the-past panic.
+	MaxLatencyCycles = event.Cycle(1) << 32
+)
+
+// Validate reports configuration errors: non-positive counts, or counts
+// beyond the sanity ceilings above. New panics on an invalid Config, so
+// callers assembling one from user input should Validate first.
+func (c *Config) Validate() error {
 	if c.CUs <= 0 || c.SIMDsPerCU <= 0 || c.MaxWavesPerSIMD <= 0 {
 		return fmt.Errorf("gpu: CU/SIMD/wave counts must be positive: %+v", *c)
 	}
 	if c.WavefrontWidth <= 0 || c.MLPLimit <= 0 {
 		return fmt.Errorf("gpu: WavefrontWidth and MLPLimit must be positive: %+v", *c)
 	}
+	if c.CUs > MaxCUs || c.SIMDsPerCU > MaxSIMDsPerCU || c.MaxWavesPerSIMD > MaxWavesPerSIMDCap {
+		return fmt.Errorf("gpu: CU/SIMD/wave counts beyond sanity ceilings (%d/%d/%d): %+v",
+			MaxCUs, MaxSIMDsPerCU, MaxWavesPerSIMDCap, *c)
+	}
+	if c.WavefrontWidth > MaxWavefrontWidth || c.MLPLimit > MaxMLPLimit {
+		return fmt.Errorf("gpu: WavefrontWidth/MLPLimit beyond sanity ceilings (%d/%d): %+v",
+			MaxWavefrontWidth, MaxMLPLimit, *c)
+	}
+	if c.LaunchLatency > MaxLatencyCycles || c.DispatchInterval > MaxLatencyCycles {
+		return fmt.Errorf("gpu: LaunchLatency/DispatchInterval beyond the %d-cycle ceiling: %+v",
+			MaxLatencyCycles, *c)
+	}
 	return nil
 }
 
-// Stats aggregates GPU-side counters for one run.
+// Stats aggregates GPU-side counters for one run. The live counters are
+// sharded per compute unit (see shard); GPU.Stats sums the shards into
+// one Stats value at snapshot time.
 type Stats struct {
 	VectorOps    uint64
 	MemRequests  uint64
@@ -63,6 +97,17 @@ type Stats struct {
 	WavesRetired uint64
 	KernelsRun   uint64
 	LDSAccesses  uint64
+}
+
+// Add accumulates other into s. GPU.Stats uses it to merge the per-CU
+// shard slabs; external aggregators (multi-GPU totals) can reuse it.
+func (s *Stats) Add(other Stats) {
+	s.VectorOps += other.VectorOps
+	s.MemRequests += other.MemRequests
+	s.Instructions += other.Instructions
+	s.WavesRetired += other.WavesRetired
+	s.KernelsRun += other.KernelsRun
+	s.LDSAccesses += other.LDSAccesses
 }
 
 // GPU executes kernels against the memory hierarchy. Ports[i] is the
@@ -73,7 +118,7 @@ type GPU struct {
 	ports []cache.Port
 	ids   mem.IDSource
 
-	cus          []*cu
+	shards       []*shard
 	waveSeq      int
 	dispatchRR   int
 	dispatchBusy bool
@@ -89,7 +134,9 @@ type GPU struct {
 	// invalidations/flushes in it and calls resume when finished.
 	OnKernelDone func(k *Kernel, resume func())
 
-	Stats Stats
+	// kernelsRun counts launches; it is the one counter that belongs to
+	// the GPU rather than a front-end shard.
+	kernelsRun uint64
 
 	// run state
 	kernels   []Kernel
@@ -109,6 +156,17 @@ type GPU struct {
 	// allocates only the workload's Program objects.
 	wfFree []*wavefront
 	wgFree []*workgroup
+}
+
+// Stats sums the per-CU shard slabs and the GPU-level launch counter
+// into one snapshot-time view. The issue path only ever touches its own
+// shard's slab; nothing is aggregated until a caller asks.
+func (g *GPU) Stats() Stats {
+	out := Stats{KernelsRun: g.kernelsRun}
+	for _, c := range g.shards {
+		out.Add(c.stats)
+	}
+	return out
 }
 
 // pooledReq pairs a recyclable request with the wavefront it currently
@@ -183,7 +241,7 @@ func (g *GPU) putWG(wg *workgroup) {
 
 // New builds a GPU. ports must have one entry per CU.
 func New(cfg Config, sim *event.Sim, ports []cache.Port) *GPU {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	if len(ports) != cfg.CUs {
@@ -191,9 +249,9 @@ func New(cfg Config, sim *event.Sim, ports []cache.Port) *GPU {
 	}
 	g := &GPU{cfg: cfg, sim: sim, ports: ports}
 	g.dispatchFn = g.dispatchOne
-	g.cus = make([]*cu, cfg.CUs)
-	for i := range g.cus {
-		g.cus[i] = newCU(g, i)
+	g.shards = make([]*shard, cfg.CUs)
+	for i := range g.shards {
+		g.shards[i] = newShard(g, i)
 	}
 	return g
 }
@@ -238,7 +296,7 @@ func (g *GPU) launch() {
 	g.current = k
 	g.wgNext = 0
 	g.wgDone = 0
-	g.Stats.KernelsRun++
+	g.kernelsRun++
 	g.dispatch()
 }
 
@@ -254,16 +312,18 @@ func (g *GPU) dispatch() {
 }
 
 // dispatchOne places a single workgroup if possible, then re-arms itself
-// while work and capacity remain.
+// while work and capacity remain. The per-shard occupancy counters make
+// each capacity probe O(1), so a full-GPU scan is O(CUs) regardless of
+// resident wave count.
 func (g *GPU) dispatchOne() {
 	g.dispatchBusy = false
 	k := g.current
 	if k == nil || g.wgNext >= k.Workgroups {
 		return
 	}
-	n := len(g.cus)
+	n := len(g.shards)
 	for i := 0; i < n; i++ {
-		c := g.cus[(g.dispatchRR+i)%n]
+		c := g.shards[(g.dispatchRR+i)%n]
 		if c.freeSlots() >= k.WavesPerWG {
 			c.place(k, g.wgNext)
 			g.wgNext++
@@ -283,7 +343,7 @@ func (g *GPU) dispatchOne() {
 	// No capacity: a retiring workgroup re-triggers dispatch.
 }
 
-// workgroupFinished is called by a CU when all waves of a WG retire.
+// workgroupFinished is called by a shard when all waves of a WG retire.
 func (g *GPU) workgroupFinished() {
 	g.wgDone++
 	k := g.current
@@ -313,44 +373,79 @@ func (g *GPU) kernelFinished() {
 	next()
 }
 
-// ----- compute unit -----
+// ----- front-end shard (one compute unit) -----
 
-type cu struct {
+// shard is one compute unit's slice of the GPU front end: its SIMD
+// pipelines, its pooled line-submit queue, its slab of the GPU
+// statistics, and the wake-up machinery that drives instruction issue
+// for this CU alone. Nothing on the issue path touches state outside
+// the shard except the shared request-id source and the object pools,
+// so an idle shard costs zero heap traffic and zero event-queue churn:
+// its ticker is disarmed the moment its last wave retires.
+type shard struct {
 	g     *GPU
 	id    int
 	simds []*simd
 
-	// sq defers this CU's line-request submits to its memory port: the
-	// coalescer pushes one pooled request per line instead of scheduling
-	// one closure per line (up to 64 per instruction).
+	// live counts resident unretired waves across all SIMDs; freeSlots
+	// and the empty-shard disarm read it in O(1).
+	live int
+
+	// stats is this shard's slab of the GPU counters. The issue path
+	// increments only this slab; GPU.Stats sums the slabs once at
+	// snapshot time.
+	stats Stats
+
+	// sq defers this shard's line-request submits to its memory port:
+	// the coalescer pushes one pooled request per line instead of
+	// scheduling one closure per line (up to 64 per instruction).
 	sq *event.Queue[*mem.Request]
+
+	// ready delivers pending SIMD wake-ups in (cycle, arrival) order
+	// through one ticker, so a shard schedules at most one issue event
+	// per cycle no matter how many of its SIMDs are due. Each entry
+	// corresponds 1:1 to an accepted arm on the owning simd's arms
+	// stack, which preserves the exact per-SIMD tick times of the
+	// unsharded front end.
+	ready *event.Queue[*simd]
 }
 
-func newCU(g *GPU, id int) *cu {
-	c := &cu{g: g, id: id}
+func newShard(g *GPU, id int) *shard {
+	c := &shard{g: g, id: id}
 	// Deliver through g.ports at delivery time so SetPorts interposition
 	// is honoured.
 	c.sq = event.NewQueue(g.sim, func(r *mem.Request) { c.g.ports[c.id].Submit(r) })
+	c.ready = event.NewQueue(g.sim, func(s *simd) { s.fire() })
 	c.simds = make([]*simd, g.cfg.SIMDsPerCU)
 	for i := range c.simds {
-		s := &simd{cu: c}
-		s.ticker = event.NewTicker(g.sim, s.tick)
-		c.simds[i] = s
+		c.simds[i] = &simd{cu: c}
 	}
 	return c
 }
 
-func (c *cu) freeSlots() int {
-	n := 0
-	for _, s := range c.simds {
-		n += c.g.cfg.MaxWavesPerSIMD - s.liveWaves()
-	}
-	return n
+func (c *shard) freeSlots() int {
+	return c.g.cfg.SIMDsPerCU*c.g.cfg.MaxWavesPerSIMD - c.live
 }
 
-// place instantiates a workgroup's wavefronts on this CU, spreading them
-// across SIMDs by free capacity.
-func (c *cu) place(k *Kernel, wgID int) {
+// disarm sheds all pending wake-ups: the ready queue empties, the SIMD
+// arm stacks clear, and outstanding drain fires become no-ops — an
+// idle CU schedules nothing until dispatch places work on it again.
+// The retired waves still resident are recycled here — the per-SIMD
+// ticks that would have compacted them are exactly the ones being
+// shed. Called when the shard's last wave retires; once live is zero
+// nothing can arm a SIMD except a future placement, which re-arms the
+// queue normally.
+func (c *shard) disarm() {
+	c.ready.Disarm()
+	for _, s := range c.simds {
+		s.arms = s.arms[:0]
+		s.compact()
+	}
+}
+
+// place instantiates a workgroup's wavefronts on this shard, spreading
+// them across SIMDs by free capacity.
+func (c *shard) place(k *Kernel, wgID int) {
 	wg := c.g.getWG()
 	wg.cu = c
 	wg.live = k.WavesPerWG
@@ -359,7 +454,7 @@ func (c *cu) place(k *Kernel, wgID int) {
 		best := -1
 		bestFree := 0
 		for i, s := range c.simds {
-			free := c.g.cfg.MaxWavesPerSIMD - s.liveWaves()
+			free := c.g.cfg.MaxWavesPerSIMD - s.live
 			if free > bestFree {
 				bestFree = free
 				best = i
@@ -378,6 +473,8 @@ func (c *cu) place(k *Kernel, wgID int) {
 		wf.prog = k.NewProgram(wgID, w)
 		wf.waitMax = -1
 		s.waves = append(s.waves, wf)
+		s.live++
+		c.live++
 		s.arm()
 	}
 }
@@ -385,45 +482,64 @@ func (c *cu) place(k *Kernel, wgID int) {
 // ----- SIMD unit -----
 
 type simd struct {
-	cu    *cu
+	cu    *shard
 	waves []*wavefront
 	rr    int
 
-	// ticker re-arms the issue attempt without allocating; busyUntil is
-	// when the issue port frees after the last issued instruction.
-	ticker    *event.Ticker
-	busyUntil event.Cycle
-}
+	// live counts resident unretired waves (placement balancing and the
+	// shard occupancy counter derive from it).
+	live int
 
-// liveWaves counts resident, unretired wavefronts.
-func (s *simd) liveWaves() int {
-	n := 0
-	for _, wf := range s.waves {
-		if !wf.retired {
-			n++
-		}
-	}
-	return n
+	// arms is this SIMD's strictly decreasing stack of pending wake-up
+	// cycles — the same discipline event.Ticker uses, except the fires
+	// live in the owning shard's ready heap so the whole CU needs only
+	// one scheduled event per cycle. busyUntil is when the issue port
+	// frees after the last issued instruction.
+	arms      []event.Cycle
+	busyUntil event.Cycle
 }
 
 // arm schedules an issue attempt for the next cycle (or the cycle the
 // issue port frees, whichever is later). Redundant arms coalesce in the
-// ticker.
+// arms stack.
 func (s *simd) arm() {
 	t := s.cu.g.sim.Now() + 1
 	if s.busyUntil > t {
 		t = s.busyUntil
 	}
-	s.ticker.ArmAt(t)
+	s.armAt(t)
+}
+
+// armAt requests a tick at cycle at (clamped to now), coalescing into
+// an earlier-or-equal pending wake-up exactly as a dedicated
+// event.Ticker would.
+func (s *simd) armAt(at event.Cycle) {
+	if now := s.cu.g.sim.Now(); at < now {
+		at = now
+	}
+	if n := len(s.arms); n > 0 && s.arms[n-1] <= at {
+		return
+	}
+	s.arms = append(s.arms, at)
+	s.cu.ready.PushAt(at, s)
+}
+
+// fire consumes the earliest pending wake-up and runs the issue tick;
+// the owning shard calls it when the matching ready-heap entry pops.
+func (s *simd) fire() {
+	if n := len(s.arms); n > 0 {
+		s.arms = s.arms[:n-1]
+	}
+	s.tick()
 }
 
 // tick issues at most one instruction from a ready wavefront.
 func (s *simd) tick() {
 	now := s.cu.g.sim.Now()
 	if now < s.busyUntil {
-		// A stale ticker fire landed inside the issue-port occupancy of
+		// A stale wake-up landed inside the issue-port occupancy of
 		// the previous instruction; try again when the port frees.
-		s.ticker.ArmAt(s.busyUntil)
+		s.armAt(s.busyUntil)
 		return
 	}
 	n := len(s.waves)
@@ -460,11 +576,11 @@ func (s *simd) tick() {
 			occupancy = 1
 		}
 		s.busyUntil = now + occupancy
-		s.ticker.ArmAt(s.busyUntil)
+		s.armAt(s.busyUntil)
 		return
 	}
 	if nextWake > now {
-		s.ticker.ArmAt(nextWake)
+		s.armAt(nextWake)
 	}
 	// Otherwise all waves are blocked on memory or barriers; response
 	// and barrier-release paths re-arm the SIMD.
@@ -493,7 +609,7 @@ func (s *simd) compact() {
 // ----- workgroup / wavefront -----
 
 type workgroup struct {
-	cu        *cu
+	cu        *shard
 	live      int // unretired waves
 	atBarrier int
 	barWaves  []*wavefront
@@ -575,19 +691,20 @@ func (wf *wavefront) readyState(now event.Cycle) (bool, event.Cycle) {
 // issue executes the current instruction and returns how long it occupies
 // the SIMD issue port.
 func (wf *wavefront) issue() event.Cycle {
-	g := wf.simd.cu.g
+	c := wf.simd.cu
+	g := c.g
 	now := g.sim.Now()
-	g.Stats.Instructions++
+	c.stats.Instructions++
 	ins := wf.cur
 	wf.hasCur = false
 
 	switch v := ins.(type) {
 	case Compute:
-		g.Stats.VectorOps += v.VectorOps
+		c.stats.VectorOps += v.VectorOps
 		wf.readyAt = now + v.Cycles
 		return v.Cycles
 	case LDS:
-		g.Stats.LDSAccesses++
+		c.stats.LDSAccesses++
 		wf.readyAt = now + v.Cycles
 		// LDS has its own pipe: the SIMD keeps issuing other waves.
 		return 1
@@ -616,7 +733,6 @@ func (wf *wavefront) issue() event.Cycle {
 		wf.curLines = nil
 		wf.outstanding += len(lines)
 		wf.readyAt = now + event.Cycle(len(lines))
-		c := wf.simd.cu
 		for i, la := range lines {
 			pr := g.getReq()
 			pr.wf = wf
@@ -631,9 +747,9 @@ func (wf *wavefront) issue() event.Cycle {
 			if g.Decorate != nil {
 				g.Decorate(req)
 			}
-			g.Stats.MemRequests++
-			// One line enters the port per cycle, via the CU's pooled
-			// delivery queue rather than one closure per line.
+			c.stats.MemRequests++
+			// One line enters the port per cycle, via the shard's
+			// pooled delivery queue rather than one closure per line.
 			c.sq.Push(event.Cycle(i), req)
 		}
 		// Address generation occupies the memory pipe, not the SIMD.
@@ -673,8 +789,11 @@ func (wf *wavefront) maybeRetire() {
 	// workgroup onto this SIMD, whose place() compacts and recycles wf;
 	// keep the simd reference for the final arm.
 	sd := wf.simd
-	g := sd.cu.g
-	g.Stats.WavesRetired++
+	c := sd.cu
+	g := c.g
+	c.stats.WavesRetired++
+	sd.live--
+	c.live--
 	wg := wf.wg
 	wg.live--
 	if wg.atBarrier > 0 && wg.atBarrier == wg.live {
@@ -692,19 +811,27 @@ func (wf *wavefront) maybeRetire() {
 		g.putWG(wg)
 		g.workgroupFinished()
 	}
+	if c.live == 0 {
+		// workgroupFinished's dispatch placed nothing here: the shard
+		// is idle — the issue attempt a retire normally grants would be
+		// a no-op, so shed all pending wake-ups until new work arrives.
+		c.disarm()
+		return
+	}
 	sd.arm()
 }
 
 // Reset returns the GPU to the observable state of a freshly built one:
-// statistics zeroed, request-id and wavefront sequences restarted,
-// dispatch idle, resident wavefronts dropped and recycled. The object
-// pools (line requests, wavefronts, workgroups) and their grown scratch
-// buffers keep their capacity, so a reset GPU re-runs a workload without
-// cold-start allocations. Call it together with the Sim's Reset; pooled
-// requests that were in flight at reset time are abandoned to the
-// garbage collector.
+// statistics zeroed (every shard slab included), request-id and
+// wavefront sequences restarted, dispatch idle, resident wavefronts
+// dropped and recycled, shard ready heaps emptied and tickers disarmed.
+// The object pools (line requests, wavefronts, workgroups) and their
+// grown scratch buffers keep their capacity, so a reset GPU re-runs a
+// workload without cold-start allocations. Call it together with the
+// Sim's Reset; pooled requests that were in flight at reset time are
+// abandoned to the garbage collector.
 func (g *GPU) Reset() {
-	g.Stats = Stats{}
+	g.kernelsRun = 0
 	g.ids.Reset()
 	g.waveSeq = 0
 	g.dispatchRR = 0
@@ -715,7 +842,10 @@ func (g *GPU) Reset() {
 	g.wgDone = 0
 	g.current = nil
 	g.finished = nil
-	for _, c := range g.cus {
+	for _, c := range g.shards {
+		c.stats = Stats{}
+		c.live = 0
+		c.ready.Reset()
 		c.sq.Reset()
 		for _, s := range c.simds {
 			for i, wf := range s.waves {
@@ -724,8 +854,9 @@ func (g *GPU) Reset() {
 			}
 			s.waves = s.waves[:0]
 			s.rr = 0
+			s.live = 0
 			s.busyUntil = 0
-			s.ticker.Reset()
+			s.arms = s.arms[:0]
 		}
 	}
 }

@@ -126,14 +126,14 @@ func TestSingleWavefrontRuns(t *testing.T) {
 	if doneAt == 0 {
 		t.Fatal("workload never finished")
 	}
-	if g.Stats.VectorOps != 64 {
-		t.Fatalf("vector ops = %d, want 64", g.Stats.VectorOps)
+	if g.Stats().VectorOps != 64 {
+		t.Fatalf("vector ops = %d, want 64", g.Stats().VectorOps)
 	}
-	if g.Stats.MemRequests != 8 {
-		t.Fatalf("mem requests = %d, want 8 (4 load + 4 store lines)", g.Stats.MemRequests)
+	if g.Stats().MemRequests != 8 {
+		t.Fatalf("mem requests = %d, want 8 (4 load + 4 store lines)", g.Stats().MemRequests)
 	}
-	if g.Stats.WavesRetired != 1 {
-		t.Fatalf("waves retired = %d", g.Stats.WavesRetired)
+	if g.Stats().WavesRetired != 1 {
+		t.Fatalf("waves retired = %d", g.Stats().WavesRetired)
 	}
 	total := 0
 	for _, p := range ports {
@@ -295,8 +295,8 @@ func TestMultiKernelBoundaryCallback(t *testing.T) {
 	if len(boundaries) != 3 || boundaries[0] != "k0" || boundaries[2] != "k2" {
 		t.Fatalf("boundaries = %v", boundaries)
 	}
-	if g.Stats.KernelsRun != 3 {
-		t.Fatalf("kernels run = %d", g.Stats.KernelsRun)
+	if g.Stats().KernelsRun != 3 {
+		t.Fatalf("kernels run = %d", g.Stats().KernelsRun)
 	}
 }
 
@@ -314,8 +314,8 @@ func TestManyWorkgroupsAllRetire(t *testing.T) {
 	// multiple dispatch rounds.
 	g.RunWorkload([]Kernel{simpleKernel("many", 50, 2, prog)}, nil)
 	sim.Run()
-	if g.Stats.WavesRetired != 100 {
-		t.Fatalf("waves retired = %d, want 100", g.Stats.WavesRetired)
+	if g.Stats().WavesRetired != 100 {
+		t.Fatalf("waves retired = %d, want 100", g.Stats().WavesRetired)
 	}
 }
 
@@ -359,7 +359,7 @@ func TestDeterminism(t *testing.T) {
 		}
 		g.RunWorkload([]Kernel{simpleKernel("det", 20, 4, prog)}, nil)
 		end := sim.Run()
-		return g.Stats.MemRequests, end
+		return g.Stats().MemRequests, end
 	}
 	r1, e1 := runOnce()
 	r2, e2 := runOnce()

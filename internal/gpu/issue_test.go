@@ -27,8 +27,8 @@ func TestBackToBackComputeIssueRate(t *testing.T) {
 	if end > ops+5 {
 		t.Fatalf("100 one-cycle compute ops finished at cycle %d, want ≤ %d (1 issue/cycle)", end, ops+5)
 	}
-	if g.Stats.Instructions != ops {
-		t.Fatalf("instructions = %d, want %d", g.Stats.Instructions, ops)
+	if g.Stats().Instructions != ops {
+		t.Fatalf("instructions = %d, want %d", g.Stats().Instructions, ops)
 	}
 }
 
@@ -146,7 +146,7 @@ func TestSteadyStateIssuePathAllocationFree(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state issue path allocates %v/op, want 0", allocs)
 	}
-	if g.Stats.MemRequests == 0 {
+	if g.Stats().MemRequests == 0 {
 		t.Fatal("workload issued no memory requests")
 	}
 }

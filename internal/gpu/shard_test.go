@@ -1,0 +1,124 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// runShardWorkload drives a multi-workgroup kernel so several shards
+// accumulate stats, grow ready heaps, and arm their tickers.
+func runShardWorkload(g *GPU, sim *event.Sim) {
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: mem.Addr(wg * 0x2000), Stride: 4, Lanes: 64},
+			WaitCnt{Max: 0},
+			Compute{VectorOps: 64, Cycles: 2},
+		}
+	}
+	g.RunWorkload([]Kernel{simpleKernel("shards", 8, 2, prog)}, nil)
+	sim.Run()
+}
+
+// TestStatsSumsShardSlabs checks the per-CU slabs hold the counters and
+// GPU.Stats merges them: traffic spread over both CUs must show up in
+// more than one slab, and the sum must equal the documented totals.
+func TestStatsSumsShardSlabs(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 25)
+	runShardWorkload(g, sim)
+	st := g.Stats()
+	if st.WavesRetired != 16 || st.KernelsRun != 1 {
+		t.Fatalf("stats = %+v, want 16 waves / 1 kernel", st)
+	}
+	var slabSum Stats
+	active := 0
+	for _, c := range g.shards {
+		if c.stats != (Stats{}) {
+			active++
+		}
+		slabSum.Add(c.stats)
+	}
+	if active < 2 {
+		t.Fatalf("only %d shard slab(s) saw traffic; dispatch should spread over both CUs", active)
+	}
+	slabSum.KernelsRun = st.KernelsRun // launch counter is GPU-level by design
+	if slabSum != st {
+		t.Fatalf("slab sum %+v != Stats() %+v", slabSum, st)
+	}
+}
+
+// TestIdleShardDisarms checks the empty-shard path: once a shard's last
+// wave retires, its stale wake-ups drain away and its ticker disarms, so
+// an idle CU stops contributing events entirely.
+func TestIdleShardDisarms(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 25)
+	runShardWorkload(g, sim)
+	for i, c := range g.shards {
+		if c.live != 0 {
+			t.Fatalf("shard %d still has %d live waves after the run", i, c.live)
+		}
+		if c.ready.Len() != 0 {
+			t.Fatalf("shard %d kept %d stale ready entries", i, c.ready.Len())
+		}
+		if c.ready.Armed() {
+			t.Fatalf("shard %d ticker still armed after going idle", i)
+		}
+		for si, s := range c.simds {
+			if len(s.arms) != 0 {
+				t.Fatalf("shard %d simd %d kept %d stale arms", i, si, len(s.arms))
+			}
+		}
+	}
+	// An idle GPU must be re-armable: a second workload runs fine.
+	finished := false
+	g.RunWorkload([]Kernel{simpleKernel("again", 2, 1, func(wg, wave int) []Instr {
+		return []Instr{Compute{VectorOps: 1, Cycles: 1}}
+	})}, func() { finished = true })
+	sim.Run()
+	if !finished {
+		t.Fatal("re-armed GPU did not finish its second workload")
+	}
+}
+
+// TestResetClearsShardState pins Reset's coverage of the sharded front
+// end: slabs, occupancy counters, ready heaps, SIMD arm stacks, and
+// tickers all return to their just-built state — even when Reset lands
+// mid-run with wake-ups armed.
+func TestResetClearsShardState(t *testing.T) {
+	g, sim, _ := build(tinyConfig(), 400)
+	prog := func(wg, wave int) []Instr {
+		return []Instr{
+			MemAccess{Kind: mem.Load, Base: mem.Addr(wg * 0x2000), Stride: 4, Lanes: 64},
+			WaitCnt{Max: 0},
+			Compute{VectorOps: 64, Cycles: 2},
+		}
+	}
+	g.RunWorkload([]Kernel{simpleKernel("mid", 8, 2, prog)}, nil)
+	// Stop mid-run: waves are resident, wake-ups are armed.
+	sim.RunUntil(40)
+	sim.Reset()
+	g.Reset()
+	if st := g.Stats(); st != (Stats{}) {
+		t.Fatalf("Stats() after Reset = %+v, want zero", st)
+	}
+	for i, c := range g.shards {
+		if c.live != 0 || c.ready.Len() != 0 {
+			t.Fatalf("shard %d not reset: live=%d ready=%d", i, c.live, c.ready.Len())
+		}
+		if c.ready.Armed() {
+			t.Fatalf("shard %d ticker armed after Reset", i)
+		}
+		for si, s := range c.simds {
+			if len(s.waves) != 0 || len(s.arms) != 0 || s.live != 0 || s.busyUntil != 0 || s.rr != 0 {
+				t.Fatalf("shard %d simd %d not reset: %d waves, %d arms, live=%d", i, si, len(s.waves), len(s.arms), s.live)
+			}
+		}
+	}
+	// The reset GPU must run the same workload from scratch, identically.
+	g.RunWorkload([]Kernel{simpleKernel("mid", 8, 2, prog)}, nil)
+	sim.Run()
+	if st := g.Stats(); st.WavesRetired != 16 {
+		t.Fatalf("post-reset run retired %d waves, want 16", st.WavesRetired)
+	}
+}

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"fmt"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -8,6 +10,26 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
+
+// TestRenderTotals checks the matrix aggregate table reflects the
+// Snapshot.Add merge of every cell.
+func TestRenderTotals(t *testing.T) {
+	rs := fakeResults()
+	var sb strings.Builder
+	RenderTotals(&sb, rs)
+	out := sb.String()
+	tot := core.Totals(rs)
+	for _, want := range []*regexp.Regexp{
+		regexp.MustCompile(`Matrix totals`),
+		regexp.MustCompile(fmt.Sprintf(`Cells simulated\s+%d\b`, len(rs))),
+		regexp.MustCompile(fmt.Sprintf(`cycles \(sum\)\s+%d\b`, tot.Cycles)),
+		regexp.MustCompile(fmt.Sprintf(`GPU memory requests\s+%d\b`, tot.GPUMemRequests)),
+	} {
+		if !want.MatchString(out) {
+			t.Fatalf("totals output missing %v:\n%s", want, out)
+		}
+	}
+}
 
 func fakeResults() []core.Result {
 	mk := func(wl, v string, cycles, dram uint64, stalls uint64, rowHits, rowTotal uint64) core.Result {

@@ -67,6 +67,30 @@ func RenderTable2(w io.Writer, scale workloads.Scale) {
 	fmt.Fprintln(w)
 }
 
+// RenderTotals writes a one-table aggregate of a whole result matrix:
+// the stats.Snapshot.Add merge of every cell, the same primitive the
+// per-worker aggregation slabs in core.RunMatrixWith use. Sweeps print
+// it as a quick sanity line — total simulated work, DRAM pressure, and
+// overall hit and row-buffer behavior across all cells.
+func RenderTotals(w io.Writer, rs []core.Result) {
+	tot := core.Totals(rs)
+	rows := [][]string{
+		{"Cells simulated", fmt.Sprint(len(rs))},
+		{"Simulated cycles (sum)", fmt.Sprint(tot.Cycles)},
+		{"Vector ops", fmt.Sprint(tot.VectorOps)},
+		{"GPU memory requests", fmt.Sprint(tot.GPUMemRequests)},
+		{"DRAM accesses", fmt.Sprintf("%d (reads %d, writes %d)",
+			tot.DRAM.Accesses(), tot.DRAM.Reads, tot.DRAM.Writes)},
+		{"DRAM row hit rate", fmt.Sprintf("%.1f%%", 100*tot.DRAM.RowHitRate())},
+		{"L1 / L2 hit rate", fmt.Sprintf("%.1f%% / %.1f%%",
+			100*tot.L1.HitRate(), 100*tot.L2.HitRate())},
+		{"Cache stalls per request", fmt.Sprintf("%.3f", tot.StallsPerRequest())},
+		{"Kernels launched", fmt.Sprint(tot.Kernels)},
+	}
+	Table(w, "Matrix totals (all cells)", []string{"Metric", "Value"}, rows)
+	fmt.Fprintln(w)
+}
+
 // formatBytes renders a byte count in the unit Table 2 uses.
 func formatBytes(b uint64) string {
 	switch {

@@ -121,6 +121,23 @@ func (d *DRAMStats) Add(other DRAMStats) {
 	d.StoreRowTotal += other.StoreRowTotal
 }
 
+// Add accumulates other into s field-wise: cycles, GPU counters, cache
+// and DRAM statistics, kernels, and footprint bytes all sum. It is the
+// single merge the harness uses wherever snapshots combine — per-worker
+// matrix aggregation slabs, report totals, trace replay summaries — so
+// no caller hand-sums a subset of fields and silently drops the rest
+// when Snapshot grows one.
+func (s *Snapshot) Add(other Snapshot) {
+	s.Cycles += other.Cycles
+	s.VectorOps += other.VectorOps
+	s.GPUMemRequests += other.GPUMemRequests
+	s.L1.Add(other.L1)
+	s.L2.Add(other.L2)
+	s.DRAM.Add(other.DRAM)
+	s.Kernels += other.Kernels
+	s.FootprintBytes += other.FootprintBytes
+}
+
 // GVOPS returns giga vector operations per second given the GPU clock in
 // MHz (Figure 4).
 func (s Snapshot) GVOPS(clockMHz float64) float64 {

@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/mem"
+)
+
+// FuzzWorkloadAddressStream fuzzes the workload generators over their
+// shape parameters (which Table 2 benchmark, at what scale) and asserts
+// the coalescer invariants every generated kernel must uphold:
+//
+//   - every kernel is well-formed (positive grid, a program builder),
+//     so gpu.launch cannot panic on it;
+//   - every memory instruction coalesces to at least one line (no
+//     zero-length accesses);
+//   - every coalesced line lies inside the workload's declared
+//     footprint [heapBase, heapBase+FootprintBytes).
+//
+// Programs are sampled rather than exhausted — the first and last wave
+// of each kernel, a bounded number of instructions each — so one fuzz
+// execution stays fast at any scale.
+func FuzzWorkloadAddressStream(f *testing.F) {
+	f.Add(uint8(0), uint16(1000))
+	f.Add(uint8(5), uint16(50))
+	f.Add(uint8(16), uint16(2999))
+	f.Add(uint8(255), uint16(0))
+	specs := All()
+	f.Fuzz(func(t *testing.T, widx uint8, scaleMilli uint16) {
+		spec := specs[int(widx)%len(specs)]
+		// Scale in (0, 3.0]: well below 0.001 every workload degenerates
+		// to its minimum geometry, which is itself worth fuzzing.
+		scale := Scale(float64(scaleMilli%3000+1) / 1000)
+		w := spec.Build(scale)
+		if w.Name != spec.Name {
+			t.Fatalf("built workload is named %q, want %q", w.Name, spec.Name)
+		}
+		if len(w.Kernels) == 0 {
+			t.Fatalf("%s@%g built no kernels", spec.Name, scale)
+		}
+		if w.FootprintBytes == 0 {
+			t.Fatalf("%s@%g declares an empty footprint", spec.Name, scale)
+		}
+		limit := heapBase + mem.Addr(w.FootprintBytes)
+		for ki := range w.Kernels {
+			k := &w.Kernels[ki]
+			if k.Workgroups <= 0 || k.WavesPerWG <= 0 || k.NewProgram == nil {
+				t.Fatalf("%s@%g kernel %q is malformed: %d WGs × %d waves",
+					spec.Name, scale, k.Name, k.Workgroups, k.WavesPerWG)
+			}
+			// Sample the two extreme waves of the grid; their chunk
+			// arithmetic covers the first and the remainder-carrying
+			// last slice of the element range.
+			waves := [][2]int{{0, 0}, {k.Workgroups - 1, k.WavesPerWG - 1}}
+			for _, wv := range waves {
+				checkProgram(t, spec.Name, k, k.NewProgram(wv[0], wv[1]), limit)
+			}
+		}
+	})
+}
+
+// checkProgram walks up to a bounded number of instructions of one
+// wavefront program, asserting the memory-access invariants.
+func checkProgram(t *testing.T, name string, k *gpu.Kernel, p gpu.Program, limit mem.Addr) {
+	t.Helper()
+	const maxInstrs = 4096
+	var lines []mem.Addr
+	for n := 0; n < maxInstrs; n++ {
+		ins, ok := p.Next()
+		if !ok {
+			return
+		}
+		ma, ok := ins.(gpu.MemAccess)
+		if !ok {
+			continue
+		}
+		lines = ma.AppendLines(lines[:0])
+		if len(lines) == 0 {
+			t.Fatalf("%s kernel %q: zero-length access %+v", name, k.Name, ma)
+		}
+		for _, la := range lines {
+			if la < heapBase || la+mem.LineSize > limit {
+				t.Fatalf("%s kernel %q: line %#x of %+v outside footprint [%#x, %#x)",
+					name, k.Name, uint64(la), ma, uint64(heapBase), uint64(limit))
+			}
+		}
+	}
+}

@@ -98,7 +98,13 @@ type alloc struct {
 
 const allocAlign = 4096
 
-func newAlloc() *alloc { return &alloc{next: 0x1000_0000} }
+// heapBase is where workload buffers start in the simulated address
+// space. Every address a generated kernel touches lies in
+// [heapBase, heapBase+FootprintBytes) — the coalescer invariant the
+// fuzz harness asserts.
+const heapBase mem.Addr = 0x1000_0000
+
+func newAlloc() *alloc { return &alloc{next: heapBase} }
 
 // buf reserves size bytes and returns the base address.
 func (a *alloc) buf(size uint64) mem.Addr {
@@ -109,7 +115,7 @@ func (a *alloc) buf(size uint64) mem.Addr {
 }
 
 // used returns total bytes reserved.
-func (a *alloc) used() uint64 { return uint64(a.next - 0x1000_0000) }
+func (a *alloc) used() uint64 { return uint64(a.next - heapBase) }
 
 // scaled returns n scaled by s, rounded up to a multiple of unit and at
 // least one unit.
@@ -196,7 +202,12 @@ func multiPassKernel(name string, totalElems, wgs, wavesPerWG int, sync bool,
 			pos := 0
 			return gpu.FuncProgram(func() (gpu.Instr, bool) {
 				for pos >= len(pend) {
-					if cur >= limit {
+					// Loop, not if: a wave whose chunk range is empty
+					// (start >= limit happens when waves × perWave
+					// overshoots the chunk count) must step through
+					// every pass without generating an iteration, or it
+					// would emit one out-of-footprint access per pass.
+					for cur >= limit {
 						pass++
 						cur = start
 						if pass >= len(passes) {
