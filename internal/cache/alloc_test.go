@@ -72,7 +72,9 @@ func TestForwardPathsAllocationFree(t *testing.T) {
 }
 
 // TestHitPathStillAllocationFree keeps PR 1's hit-path contract pinned
-// alongside the new forward-path one.
+// alongside the forward-path one: the steady-state hit path — including
+// the precomputed (setShift, setMask) set-index extraction — performs
+// zero allocations per operation.
 func TestHitPathStillAllocationFree(t *testing.T) {
 	sim := event.New()
 	c := allocCache(sim, &quietLower{sim: sim, lat: 5})

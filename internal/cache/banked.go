@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/event"
 	"repro/internal/mem"
@@ -13,8 +14,12 @@ import (
 // Table 1) is a Banked cache: banking provides the request throughput a
 // single tag array could not.
 type Banked struct {
-	banks    []*Cache
-	bankMask mem.Addr
+	banks []*Cache
+	// bankShift/bankMask are the precomputed bank-selection pair: the
+	// per-request bankOf is one shift plus one and, with the per-bank
+	// set-count division folded into the shift at construction.
+	bankShift uint
+	bankMask  mem.Addr
 }
 
 // NewBanked builds nBanks caches from cfg (each bank receives the full
@@ -33,17 +38,16 @@ func NewBanked(cfg Config, nBanks int, sim *event.Sim, lower Port) *Banked {
 		c.Name = fmt.Sprintf("%s.bank%d", cfg.Name, i)
 		b.banks[i] = New(c, sim, lower)
 	}
+	b.bankShift = mem.LineShift + uint(bits.TrailingZeros(uint(cfg.Sets)))
 	return b
 }
 
 // bankOf selects the bank for a line address. Bank bits sit directly above
 // the set-index bits so that consecutive runs of sets spread across banks:
-// dividing the line number by the per-bank set count strips the set index,
-// and the bank mask then selects the bits directly above it.
+// bankShift strips the line offset and the per-bank set index in one
+// shift, and the bank mask selects the bits directly above them.
 func (b *Banked) bankOf(lineAddr mem.Addr) int {
-	setCount := mem.Addr(len(b.banks[0].sets)) // sets per bank (a power of two)
-	lineNum := lineAddr >> mem.LineShift
-	return int((lineNum / setCount) & b.bankMask)
+	return int((lineAddr >> b.bankShift) & b.bankMask)
 }
 
 // Submit implements Port.

@@ -204,7 +204,13 @@ type Cache struct {
 	sim   *event.Sim
 	lower Port
 
-	sets     [][]line
+	sets [][]line
+	// setShift/setMask are the set-index extraction pair, stored per
+	// instance so the lookup geometry is self-contained on the Cache:
+	// the hot setOf is one shift plus one and. (setShift mirrors
+	// mem.LineShift today; a per-instance line granularity would change
+	// only this pair.)
+	setShift uint
 	setMask  mem.Addr
 	lruTick  uint64
 	mshrs    map[mem.Addr]*mshr
@@ -260,6 +266,7 @@ func New(cfg Config, sim *event.Sim, lower Port) *Cache {
 		sim:         sim,
 		lower:       lower,
 		sets:        make([][]line, cfg.Sets),
+		setShift:    mem.LineShift,
 		setMask:     mem.Addr(cfg.Sets - 1),
 		mshrs:       make(map[mem.Addr]*mshr),
 		bypasses:    make(map[mem.Addr]*bypassEntry),
@@ -275,9 +282,10 @@ func New(cfg Config, sim *event.Sim, lower Port) *Cache {
 	return c
 }
 
-// setOf maps a line address to its set index.
+// setOf maps a line address to its set index: one shift, one and, both
+// operands precomputed on the Cache at construction.
 func (c *Cache) setOf(lineAddr mem.Addr) int {
-	return int((lineAddr >> mem.LineShift) & c.setMask)
+	return int((lineAddr >> c.setShift) & c.setMask)
 }
 
 // Submit implements Port. The request is processed starting this cycle.
@@ -925,6 +933,11 @@ func (c *Cache) FlushDirty(done func()) {
 	}
 	c.flushLines = lines // keep the grown scratch for the next flush
 	if len(lines) == 0 {
+		// Deliberately Schedule(0, ...), not a direct call: done must
+		// observe the documented same-cycle ordering (after events
+		// already queued this cycle), keeping a no-dirty-lines flush
+		// interleaved identically to a one-line flush. Batch dispatch
+		// makes the deferred event cheap but not redundant.
 		if done != nil {
 			c.sim.Schedule(0, done)
 		}

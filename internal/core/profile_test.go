@@ -37,7 +37,9 @@ func TestProfileRun(t *testing.T) {
 	w := spec.Build(workloads.Scale(scale))
 	snap := sys.Run(w)
 	t.Logf("%s/%s: %s", name, label, snap.String())
-	t.Logf("events fired=%d peak queue=%d", sys.Sim.Fired(), sys.Sim.MaxQueueLen())
+	// MaxQueueLen is the pending-event high-water mark summed across the
+	// engine's wheel buckets and overflow heap (not a single heap length).
+	t.Logf("events fired=%d peak pending=%d", sys.Sim.Fired(), sys.Sim.MaxQueueLen())
 }
 
 func parseProfileEnv(env string, name, label *string, scale *float64) (int, error) {

@@ -116,8 +116,11 @@ func (s *System) Run(w workloads.Workload) stats.Snapshot {
 		if name == "" {
 			name = "unnamed workload"
 		}
-		panic(fmt.Sprintf("core: %s/%s did not finish (deadlock: %d events fired)",
-			s.Variant.Label, name, s.Sim.Fired()))
+		// Pending() distinguishes a true deadlock (queued-but-unreachable
+		// events, e.g. a wait chain that lost its wake-up) from a quietly
+		// drained engine whose completion callback never ran.
+		panic(fmt.Sprintf("core: %s/%s did not finish (deadlock: %d events fired, %d pending)",
+			s.Variant.Label, name, s.Sim.Fired(), s.Sim.Pending()))
 	}
 	return s.Snapshot(w)
 }

@@ -1,0 +1,102 @@
+package event
+
+import "testing"
+
+// BenchmarkScheduleFire pins the schedule→fire round-trip cost of the
+// wheel engine per scheduling regime, with the pre-wheel heap reference
+// (heapref_test.go) as the comparison baseline. All steady-state wheel
+// variants must report 0 allocs/op; CI's bench-smoke job runs every
+// sub-benchmark once so the wheel-vs-heap comparison cannot rot.
+func BenchmarkScheduleFire(b *testing.B) {
+	// near-horizon: delays well inside WheelSpan — the bucket fast path
+	// every cache/DRAM/issue latency takes.
+	b.Run("near-horizon", func(b *testing.B) {
+		s := New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				s.Schedule(Cycle(n%7+1), tick)
+			}
+		}
+		b.ReportAllocs()
+		s.Schedule(1, tick)
+		s.Run()
+	})
+	// past-horizon: every delay spills to the overflow heap and refills
+	// the wheel as the clock advances — the worst case for the wheel.
+	b.Run("past-horizon", func(b *testing.B) {
+		s := New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				s.Schedule(WheelSpan+Cycle(n%7), tick)
+			}
+		}
+		b.ReportAllocs()
+		s.Schedule(WheelSpan, tick)
+		s.Run()
+	})
+	// zero-delay: a same-cycle storm appended to the live bucket
+	// mid-drain — pure batch-dispatch throughput.
+	b.Run("zero-delay", func(b *testing.B) {
+		s := New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				s.Schedule(0, tick)
+			}
+		}
+		b.ReportAllocs()
+		s.Schedule(1, tick)
+		s.Run()
+	})
+	// mixed: a fan of pending events across near, boundary, and
+	// past-horizon delays — the realistic regime, and the shape that
+	// made the old heap pay O(log n) per event.
+	b.Run("mixed", func(b *testing.B) {
+		s := New()
+		benchMixed(s, b.N, b)
+	})
+	// heap-reference: the identical mixed workload on the pre-wheel
+	// binary heap, so the wheel-vs-heap ratio is visible in every bench
+	// run without checking out an old commit.
+	b.Run("heap-reference", func(b *testing.B) {
+		s := &heapSim{}
+		benchMixed(s, b.N, b)
+	})
+}
+
+// benchMixed drives n events through eng with a 256-event fan across a
+// mixed delay distribution (near-horizon, horizon boundary, overflow).
+func benchMixed(eng engine, n int, b *testing.B) {
+	const fan = 256
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < n {
+			switch fired & 15 {
+			case 0:
+				eng.Schedule(0, tick)
+			case 1:
+				eng.Schedule(WheelSpan-1+Cycle(fired&3), tick)
+			case 2:
+				eng.Schedule(2*WheelSpan, tick)
+			default:
+				eng.Schedule(Cycle(fired%13+1), tick)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < fan && i < n; i++ {
+		fired++
+		eng.Schedule(Cycle(i%13+1), tick)
+	}
+	eng.Run()
+}

@@ -1,0 +1,220 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// engine is the Sim surface the differential test exercises; Sim and the
+// test-only heapSim reference both satisfy it.
+type engine interface {
+	Now() Cycle
+	Fired() uint64
+	Pending() int
+	Schedule(delay Cycle, fn Func)
+	At(t Cycle, fn Func)
+	Step() bool
+	Run() Cycle
+	RunUntil(limit Cycle) bool
+	MaxQueueLen() int
+	Reset()
+}
+
+// fireRec is one observed firing: which event, at what cycle.
+type fireRec struct {
+	id int
+	at Cycle
+}
+
+// driver drives one engine through the shared op sequence, recording
+// every firing. Nested scheduling decisions come from the driver's own
+// rng; as long as the engines fire in identical order the two rng
+// streams stay aligned, and the first divergence is caught by the
+// comparison after the op that caused it.
+type driver struct {
+	e      engine
+	rng    *rand.Rand
+	log    []fireRec
+	nextID int
+}
+
+// advDelay draws from an adversarial delay distribution: zero-delay
+// storms, near-horizon delays, exact wheel-horizon boundaries, multiples
+// of the horizon (wrap collisions: same bucket index, different
+// revolutions), and far-past-horizon spills into the overflow heap.
+func advDelay(r *rand.Rand) Cycle {
+	switch r.Intn(10) {
+	case 0:
+		return 0
+	case 1, 2, 3:
+		return Cycle(r.Intn(8))
+	case 4:
+		return Cycle(r.Intn(64))
+	case 5:
+		return WheelSpan - 2 + Cycle(r.Intn(5)) // straddle the horizon
+	case 6:
+		return WheelSpan*Cycle(1+r.Intn(3)) - 1 + Cycle(r.Intn(3)) // wrap boundary
+	case 7, 8:
+		return Cycle(r.Intn(int(4 * WheelSpan))) // deep overflow
+	default:
+		return Cycle(r.Intn(40))
+	}
+}
+
+// add schedules one event (with possible nested scheduling when it
+// fires) on the driver's engine.
+func (d *driver) add(depth int, useAt bool) {
+	delay := advDelay(d.rng)
+	id := d.nextID
+	d.nextID++
+	fn := func() {
+		d.log = append(d.log, fireRec{id: id, at: d.e.Now()})
+		if depth < 3 && d.rng.Intn(3) == 0 {
+			d.add(depth+1, d.rng.Intn(2) == 0)
+		}
+	}
+	if useAt {
+		d.e.At(d.e.Now()+delay, fn)
+	} else {
+		d.e.Schedule(delay, fn)
+	}
+}
+
+// TestWheelVsHeapRandomizedDifferential pins the time-wheel engine
+// against the pre-wheel heap reference on seeded adversarial schedules:
+// any interleaving of scheduling bursts, single steps, bounded runs,
+// full drains, and mid-revolution Resets must produce identical firing
+// sequences and identical observable bookkeeping (Now, Fired, Pending,
+// MaxQueueLen) on both engines.
+func TestWheelVsHeapRandomizedDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		opRng := rand.New(rand.NewSource(seed))
+		wheel := &driver{e: New(), rng: rand.New(rand.NewSource(seed * 7919))}
+		heap := &driver{e: &heapSim{}, rng: rand.New(rand.NewSource(seed * 7919))}
+		both := [2]*driver{wheel, heap}
+
+		check := func(op int, what string) {
+			t.Helper()
+			w, h := wheel.e, heap.e
+			if w.Now() != h.Now() || w.Fired() != h.Fired() ||
+				w.Pending() != h.Pending() || w.MaxQueueLen() != h.MaxQueueLen() {
+				t.Fatalf("seed %d op %d (%s): wheel now=%d fired=%d pending=%d max=%d; heap now=%d fired=%d pending=%d max=%d",
+					seed, op, what,
+					w.Now(), w.Fired(), w.Pending(), w.MaxQueueLen(),
+					h.Now(), h.Fired(), h.Pending(), h.MaxQueueLen())
+			}
+			if len(wheel.log) != len(heap.log) {
+				t.Fatalf("seed %d op %d (%s): wheel fired %d events, heap %d",
+					seed, op, what, len(wheel.log), len(heap.log))
+			}
+			for i := range wheel.log {
+				if wheel.log[i] != heap.log[i] {
+					t.Fatalf("seed %d op %d (%s): firing %d diverges: wheel %+v, heap %+v",
+						seed, op, what, i, wheel.log[i], heap.log[i])
+				}
+			}
+		}
+
+		for op := 0; op < 200; op++ {
+			switch opRng.Intn(10) {
+			case 0, 1, 2: // scheduling burst
+				k := 1 + opRng.Intn(6)
+				useAt := opRng.Intn(2) == 0
+				for i := 0; i < k; i++ {
+					for _, d := range both {
+						d.add(0, useAt)
+					}
+				}
+				check(op, "burst")
+			case 3, 4: // single step
+				sw, sh := wheel.e.Step(), heap.e.Step()
+				if sw != sh {
+					t.Fatalf("seed %d op %d: Step: wheel %v, heap %v", seed, op, sw, sh)
+				}
+				check(op, "step")
+			case 5, 6, 7: // bounded run, limits aligned to wheel boundaries
+				var delta Cycle
+				switch opRng.Intn(5) {
+				case 0:
+					delta = 0
+				case 1:
+					delta = Cycle(opRng.Intn(16))
+				case 2:
+					delta = WheelSpan - 1 + Cycle(opRng.Intn(3)) // horizon boundary
+				case 3:
+					delta = Cycle(opRng.Intn(int(3 * WheelSpan)))
+				default:
+					now := wheel.e.Now()
+					// Limit exactly on the next bucket-ring boundary.
+					delta = (now/WheelSpan+1)*WheelSpan - now
+				}
+				rw := wheel.e.RunUntil(wheel.e.Now() + delta)
+				rh := heap.e.RunUntil(heap.e.Now() + delta)
+				if rw != rh {
+					t.Fatalf("seed %d op %d: RunUntil(+%d): wheel %v, heap %v", seed, op, delta, rw, rh)
+				}
+				check(op, "rununtil")
+			case 8: // full drain
+				ew, eh := wheel.e.Run(), heap.e.Run()
+				if ew != eh {
+					t.Fatalf("seed %d op %d: Run: wheel end %d, heap end %d", seed, op, ew, eh)
+				}
+				check(op, "run")
+			case 9: // reset mid-whatever, then keep using the engines
+				if opRng.Intn(3) == 0 {
+					for _, d := range both {
+						d.e.Reset()
+						d.log = d.log[:0]
+						d.nextID = 0
+					}
+					check(op, "reset")
+				}
+			}
+		}
+		wheel.e.Run()
+		heap.e.Run()
+		check(200, "final drain")
+	}
+}
+
+// TestZeroDelayStormDifferential pins the batch-dispatch contract under
+// sustained same-cycle pressure: every fired event schedules more
+// zero-delay events into the live bucket mid-drain, on both engines.
+func TestZeroDelayStormDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		wheel := &driver{e: New(), rng: rand.New(rand.NewSource(seed))}
+		heap := &driver{e: &heapSim{}, rng: rand.New(rand.NewSource(seed))}
+		for _, d := range both2(wheel, heap) {
+			d := d
+			budget := 2000
+			var storm func()
+			storm = func() {
+				d.log = append(d.log, fireRec{id: d.nextID, at: d.e.Now()})
+				d.nextID++
+				if budget > 0 {
+					budget--
+					n := 1 + d.rng.Intn(2)
+					for i := 0; i < n; i++ {
+						d.e.Schedule(0, storm)
+					}
+				}
+			}
+			d.e.Schedule(3, storm)
+			d.e.Run()
+		}
+		if len(wheel.log) != len(heap.log) {
+			t.Fatalf("seed %d: wheel fired %d, heap fired %d", seed, len(wheel.log), len(heap.log))
+		}
+		for i := range wheel.log {
+			if wheel.log[i] != heap.log[i] {
+				t.Fatalf("seed %d: firing %d diverges: wheel %+v, heap %+v",
+					seed, i, wheel.log[i], heap.log[i])
+			}
+		}
+		if wheel.e.Now() != heap.e.Now() || wheel.e.Fired() != heap.e.Fired() {
+			t.Fatalf("seed %d: end state diverges", seed)
+		}
+	}
+}
+
+func both2(a, b *driver) [2]*driver { return [2]*driver{a, b} }

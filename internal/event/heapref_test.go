@@ -1,0 +1,137 @@
+package event
+
+// heapSim is the pre-wheel event engine — a single binary min-heap over
+// (time, scheduling order) — kept verbatim as a test-only reference
+// implementation. Its behaviour defines the engine contract: the
+// randomized differential test (differential_test.go) pins the time-wheel
+// Sim against it on adversarial schedules, so any divergence in firing
+// order, clock advance, or bookkeeping is caught without golden files.
+
+type heapItem struct {
+	at  Cycle
+	seq uint64
+	fn  Func
+}
+
+func (a heapItem) less(b heapItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+type heapSim struct {
+	now    Cycle
+	seq    uint64
+	queue  []heapItem
+	fired  uint64
+	maxLen int
+}
+
+func (s *heapSim) Now() Cycle    { return s.now }
+func (s *heapSim) Fired() uint64 { return s.fired }
+func (s *heapSim) Pending() int  { return len(s.queue) }
+
+func (s *heapSim) Schedule(delay Cycle, fn Func) {
+	s.At(s.now+delay, fn)
+}
+
+func (s *heapSim) At(t Cycle, fn Func) {
+	if t < s.now {
+		panic("event: scheduling in the past")
+	}
+	if fn == nil {
+		panic("event: nil event func")
+	}
+	s.seq++
+	s.queue = append(s.queue, heapItem{at: t, seq: s.seq, fn: fn})
+	s.siftUp(len(s.queue) - 1)
+	if len(s.queue) > s.maxLen {
+		s.maxLen = len(s.queue)
+	}
+}
+
+func (s *heapSim) siftUp(i int) {
+	q := s.queue
+	it := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !it.less(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = it
+}
+
+func (s *heapSim) pop() heapItem {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	it := q[n]
+	q[n].fn = nil
+	s.queue = q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if right := child + 1; right < n && q[right].less(q[child]) {
+				child = right
+			}
+			if !q[child].less(it) {
+				break
+			}
+			q[i] = q[child]
+			i = child
+		}
+		q[i] = it
+	}
+	return top
+}
+
+func (s *heapSim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	it := s.pop()
+	s.now = it.at
+	s.fired++
+	it.fn()
+	return true
+}
+
+func (s *heapSim) Run() Cycle {
+	for s.Step() {
+	}
+	return s.now
+}
+
+func (s *heapSim) RunUntil(limit Cycle) bool {
+	for len(s.queue) > 0 && s.queue[0].at <= limit {
+		s.Step()
+	}
+	if len(s.queue) == 0 {
+		return true
+	}
+	if limit > s.now {
+		s.now = limit
+	}
+	return false
+}
+
+func (s *heapSim) MaxQueueLen() int { return s.maxLen }
+
+func (s *heapSim) Reset() {
+	for i := range s.queue {
+		s.queue[i].fn = nil
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.fired = 0
+	s.maxLen = 0
+}

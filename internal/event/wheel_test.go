@@ -1,0 +1,209 @@
+package event
+
+import "testing"
+
+// Tests in this file pin wheel-structure edge cases directly (the
+// randomized differential test covers them statistically; these make the
+// boundary conditions explicit and debuggable).
+
+// TestRunUntilOnBucketBoundary runs with a limit exactly on a wheel-ring
+// boundary: events at limit fire, events one cycle later do not.
+func TestRunUntilOnBucketBoundary(t *testing.T) {
+	s := New()
+	limit := WheelSpan // cycle 0 of the second revolution
+	var fired []Cycle
+	for _, d := range []Cycle{limit - 1, limit, limit + 1} {
+		d := d
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	if s.RunUntil(limit) {
+		t.Fatal("RunUntil reported drained with an event beyond the limit pending")
+	}
+	if len(fired) != 2 || fired[0] != limit-1 || fired[1] != limit {
+		t.Fatalf("fired = %v, want [%d %d]", fired, limit-1, limit)
+	}
+	if s.Now() != limit {
+		t.Fatalf("Now = %d, want %d", s.Now(), limit)
+	}
+	if !s.RunUntil(limit + 1) {
+		t.Fatal("RunUntil(limit+1) should drain")
+	}
+}
+
+// TestRunUntilInsideDrainedBucket re-runs with a limit at a cycle whose
+// bucket has already been drained: nothing refires, the clock holds.
+func TestRunUntilInsideDrainedBucket(t *testing.T) {
+	s := New()
+	n := 0
+	s.At(2, func() { n++ })
+	s.At(600, func() { n += 100 })
+	if s.RunUntil(2) {
+		t.Fatal("RunUntil(2) reported drained with the cycle-600 event pending")
+	}
+	if n != 1 || s.Now() != 2 {
+		t.Fatalf("n=%d now=%d, want n=1 now=2", n, s.Now())
+	}
+	// Limit inside the already-drained cycle: no refire, clock untouched.
+	if s.RunUntil(2) {
+		t.Fatal("second RunUntil(2) reported drained")
+	}
+	if n != 1 || s.Now() != 2 || s.Pending() != 1 {
+		t.Fatalf("after re-run: n=%d now=%d pending=%d, want 1/2/1", n, s.Now(), s.Pending())
+	}
+	if !s.RunUntil(600) {
+		t.Fatal("RunUntil(600) should drain")
+	}
+	if n != 101 {
+		t.Fatalf("n = %d, want 101", n)
+	}
+}
+
+// TestRunUntilPastHorizonWithOverflow stops the clock past the wheel
+// horizon while overflow events are still pending: the limit bump must
+// refill the wheel so later scheduling and draining see those events.
+func TestRunUntilPastHorizonWithOverflow(t *testing.T) {
+	s := New()
+	var fired []Cycle
+	rec := func(at Cycle) Func { return func() { fired = append(fired, at) } }
+	s.At(10, rec(10))
+	far := WheelSpan + 100  // beyond the initial horizon: overflow
+	deep := 3 * WheelSpan   // stays in overflow across the first bump
+	limit := WheelSpan + 50 // past the initial horizon, before both
+	s.At(far, rec(far))
+	s.At(deep, rec(deep))
+	if s.RunUntil(limit) {
+		t.Fatal("RunUntil reported drained with overflow pending")
+	}
+	if s.Now() != limit {
+		t.Fatalf("Now = %d, want %d", s.Now(), limit)
+	}
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10]", fired)
+	}
+	// The far event is now within the horizon; a same-cycle competitor
+	// scheduled after the bump must fire behind it (FIFO by schedule
+	// order across the spill).
+	s.At(far, rec(far+1000000))
+	if !s.RunUntil(4 * WheelSpan) {
+		t.Fatal("RunUntil(4*WheelSpan) should drain")
+	}
+	want := []Cycle{10, far, far + 1000000, deep}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestWheelWrapSameBucket schedules two events one full revolution apart:
+// same bucket index, different cycles. The near one fires first; the far
+// one spills to overflow and fires exactly one revolution later.
+func TestWheelWrapSameBucket(t *testing.T) {
+	s := New()
+	var fired []Cycle
+	s.At(7, func() { fired = append(fired, 7) })
+	s.At(7+WheelSpan, func() { fired = append(fired, 7+WheelSpan) })
+	end := s.Run()
+	if end != 7+WheelSpan {
+		t.Fatalf("end = %d, want %d", end, 7+WheelSpan)
+	}
+	if len(fired) != 2 || fired[0] != 7 || fired[1] != 7+WheelSpan {
+		t.Fatalf("fired = %v, want [7 %d]", fired, 7+WheelSpan)
+	}
+}
+
+// TestResetMidRevolution resets with the clock deep inside a revolution,
+// a bucket partially drained, and overflow pending; the wheel must
+// rewind to cycle 0 and behave exactly like a fresh engine.
+func TestResetMidRevolution(t *testing.T) {
+	s := New()
+	mid := WheelSpan + WheelSpan/3 // second revolution, mid-ring
+	dropped := 0
+	s.At(mid, func() { dropped++ })
+	s.At(mid, func() { dropped++ }) // second event: bucket drains partially
+	s.At(5*WheelSpan, func() { dropped++ })
+	// Fire the first of the two same-cycle events, then reset mid-bucket.
+	if !s.Step() {
+		t.Fatal("Step fired nothing")
+	}
+	if s.Now() != mid || s.Pending() != 2 {
+		t.Fatalf("pre-reset now=%d pending=%d, want %d/2", s.Now(), s.Pending(), mid)
+	}
+	s.Reset()
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 || s.MaxQueueLen() != 0 {
+		t.Fatalf("after Reset: now=%d fired=%d pending=%d maxlen=%d, want all 0",
+			s.Now(), s.Fired(), s.Pending(), s.MaxQueueLen())
+	}
+	before := dropped
+	// The ring indices must have rewound with the clock: cycle-0
+	// scheduling lands in bucket 0, same-cycle FIFO restarts, and the
+	// dropped events never fire.
+	var order []int
+	s.At(0, func() { order = append(order, 1) })
+	s.At(0, func() { order = append(order, 2) })
+	s.Schedule(WheelSpan/3, func() { order = append(order, 3) })
+	if end := s.Run(); end != WheelSpan/3 {
+		t.Fatalf("post-reset end = %d, want %d", end, WheelSpan/3)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("post-reset order = %v, want [1 2 3]", order)
+	}
+	if dropped != before {
+		t.Fatal("Reset fired a dropped event")
+	}
+}
+
+// TestResetAfterStepClearsOccupancy is the regression test for a stale
+// occupancy bit: Step fires the last pending event but leaves the
+// bucket unfinalized (occ bit set, head == len). A Reset at that point
+// must clear the bit; a leaked one would later steer nextWheelTime into
+// an empty bucket and crash the dispatcher.
+func TestResetAfterStepClearsOccupancy(t *testing.T) {
+	s := New()
+	s.At(70, func() {})
+	if !s.Step() { // bucket 70: fired, occ still set, not finalized
+		t.Fatal("Step fired nothing")
+	}
+	s.Reset()
+	fired := 0
+	s.At(5, func() { fired++ })
+	s.RunUntil(60)
+	s.At(100, func() { fired++ })
+	if !s.Step() { // must advance to 100, not the phantom bucket 70
+		t.Fatal("Step fired nothing after Reset")
+	}
+	if fired != 2 || s.Now() != 100 {
+		t.Fatalf("fired=%d now=%d, want 2/100", fired, s.Now())
+	}
+}
+
+// TestScheduleSteadyStateNoAllocs pins the 0 allocs/op contract for the
+// schedule/dispatch hot path once the bucket ring and overflow heap have
+// warmed: near-horizon scheduling, batch dispatch, and overflow spills
+// must all recycle their storage.
+func TestScheduleSteadyStateNoAllocs(t *testing.T) {
+	s := New()
+	n := 0
+	fn := func() { n++ }
+	warm := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			s.Schedule(Cycle(i%17), fn)
+			s.Schedule(WheelSpan+Cycle(i%11), fn) // overflow spill
+			if i%4 == 3 {
+				s.Run()
+			}
+		}
+		s.Run()
+	}
+	warm(256)
+	allocs := testing.AllocsPerRun(100, func() { warm(32) })
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/dispatch allocates %v/op, want 0", allocs)
+	}
+	if n == 0 {
+		t.Fatal("events did not fire")
+	}
+}

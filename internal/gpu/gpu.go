@@ -273,8 +273,11 @@ func (g *GPU) SetPorts(ports []cache.Port) {
 // them, then calls finished.
 func (g *GPU) RunWorkload(kernels []Kernel, finished func()) {
 	if len(kernels) == 0 {
+		// Direct call, not Schedule(0, ...): an empty workload has no
+		// in-flight GPU work the completion could race with, so the
+		// deferred hand-off bought nothing (batch-dispatch audit, PR 5).
 		if finished != nil {
-			g.sim.Schedule(0, finished)
+			finished()
 		}
 		return
 	}
@@ -657,7 +660,9 @@ func (wf *wavefront) readyState(now event.Cycle) (bool, event.Cycle) {
 			wf.draining = true
 			// Retire as a separate event: retirement can trigger
 			// workgroup dispatch, which mutates the wave list the
-			// caller (simd.tick) is iterating.
+			// caller (simd.tick) is iterating. Batch dispatch does not
+			// make this Schedule(0, ...) redundant — the deferral is a
+			// re-entrancy guard, not a hand-off.
 			g := wf.simd.cu.g
 			g.sim.Schedule(0, wf.maybeRetire)
 			return false, 0

@@ -227,8 +227,11 @@ func NewReplayer(sim *event.Sim, port cache.Port, tr *Trace, mode ReplayMode) *R
 func (r *Replayer) Start(done func()) {
 	r.done = done
 	if len(r.trace.Events) == 0 {
+		// Direct call, not Schedule(0, ...): an empty trace has nothing
+		// in flight for the completion to order against (batch-dispatch
+		// audit, PR 5).
 		if done != nil {
-			r.sim.Schedule(0, done)
+			done()
 		}
 		return
 	}
