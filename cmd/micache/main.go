@@ -51,6 +51,8 @@ func run(args []string) error {
 		window   = fs.Int("window", 64, "outstanding-request window for -replay (0 = timed replay)")
 		workers  = fs.Int("workers", 0, "concurrent simulations for matrix runs (0 = GOMAXPROCS, 1 = sequential)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output on stderr")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
+		maxEv    = fs.Uint64("max-events", 0, "event budget per simulation (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +69,9 @@ func run(args []string) error {
 	}
 	sc := workloads.Scale(*scale)
 	out := os.Stdout
+	// Budgets bound each simulation; a tripped budget surfaces as a
+	// structured error and a clean non-zero exit, never a stack trace.
+	budgets := core.Budgets{Timeout: *timeout, MaxEvents: *maxEv}
 
 	switch {
 	case *table == 1:
@@ -80,13 +85,13 @@ func run(args []string) error {
 	case *replay != "":
 		return runReplay(cfg, *replay, *variant, *window)
 	case *workload != "":
-		return runSingle(cfg, *workload, *variant, sc, *record)
+		return runSingle(cfg, *workload, *variant, sc, *record, budgets)
 	case *figure != 0:
-		return runFigures(cfg, []int{*figure}, sc, *csv, *workers, *quiet)
+		return runFigures(cfg, []int{*figure}, sc, *csv, *workers, *quiet, budgets)
 	case *all:
 		report.RenderTable1(out, cfg)
 		report.RenderTable2(out, sc)
-		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv, *workers, *quiet)
+		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv, *workers, *quiet, budgets)
 	default:
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table, -figure or -workload")
@@ -119,8 +124,9 @@ func lookupVariant(label string) (core.Variant, error) {
 }
 
 // runSingle runs one workload under one variant and prints full stats;
-// with recordPath it also captures and writes the memory trace.
-func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string) error {
+// with recordPath it also captures and writes the memory trace (the
+// recording path ignores budgets — a trace must be complete or absent).
+func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string, b core.Budgets) error {
 	spec, err := workloads.ByName(name)
 	if err != nil {
 		return fmt.Errorf("unknown workload %q (valid: %s)", name, workloadNames())
@@ -150,7 +156,7 @@ func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPa
 		}
 		fmt.Fprintf(os.Stderr, "recorded %d events to %s\n", len(tr.Events), recordPath)
 	} else {
-		r, err = core.RunOne(cfg, v, spec, sc)
+		r, err = core.RunOneWith(cfg, v, spec, sc, b)
 		if err != nil {
 			return err
 		}
@@ -220,7 +226,7 @@ func runReplay(cfg core.Config, path, label string, window int) error {
 
 // runFigures computes the result matrix once — cells spread over the
 // requested worker count — and renders the requested figures.
-func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, workers int, quiet bool) error {
+func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, workers int, quiet bool, b core.Budgets) error {
 	specs := workloads.All()
 	figMap := report.Figures(cfg.GPUClockMHz)
 	sort.Ints(figs)
@@ -253,7 +259,11 @@ func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, worke
 	}
 
 	start := time.Now()
-	opts := core.RunMatrixOpts{Workers: workers}
+	opts := core.RunMatrixOpts{
+		Workers:          workers,
+		CellTimeout:      b.Timeout,
+		MaxEventsPerCell: b.MaxEvents,
+	}
 	if !quiet {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)

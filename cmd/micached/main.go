@@ -1,0 +1,200 @@
+// Command micached serves the simulator over HTTP: POST a (workload,
+// policy, scale) cell to /run and get the statistics snapshot back as
+// JSON. It exists for sweeping experiments from scripts and notebooks
+// without paying a process start (and system construction) per cell —
+// a warm SystemPool is shared across requests.
+//
+// Every run is bounded: requests carry the server's wall-clock timeout,
+// event budget, and livelock watchdog (see internal/core.Budgets), so a
+// wedged or runaway cell returns a structured 504 instead of pinning a
+// worker forever. Admission is bounded too: at most MICACHED_WORKERS
+// cells simulate concurrently, at most MICACHED_QUEUE more may wait,
+// and everything beyond that is refused with 429 immediately.
+//
+// Configuration is environment-only (one binary, no flags):
+//
+//	MICACHED_ADDR        listen address          (default :8080)
+//	MICACHED_WORKERS     concurrent simulations  (default GOMAXPROCS)
+//	MICACHED_QUEUE       admission queue depth   (default 64)
+//	MICACHED_TIMEOUT     per-run wall budget     (default 30s, 0 = none)
+//	MICACHED_MAX_EVENTS  per-run event budget    (default 0 = none)
+//	MICACHED_WATCHDOG    stall detector interval (default 5s, 0 = off)
+//	MICACHED_MAX_SCALE   largest accepted scale  (default 1.0)
+//	MICACHED_CUS         compute-unit override   (default Table 1's 64)
+//
+// SIGTERM or SIGINT drains gracefully: /healthz flips to 503 so load
+// balancers stop routing, in-flight runs finish (bounded by their own
+// budgets), queued requests complete, and only then does the process
+// exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "micached:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	cfg := core.DefaultConfig()
+	cus, err := envInt("MICACHED_CUS", 0)
+	if err != nil {
+		return err
+	}
+	if cus > 0 {
+		cfg.GPU.CUs = cus
+	}
+
+	workers, err := envInt("MICACHED_WORKERS", runtime.GOMAXPROCS(0))
+	if err != nil {
+		return err
+	}
+	queue, err := envInt("MICACHED_QUEUE", 64)
+	if err != nil {
+		return err
+	}
+	timeout, err := envDuration("MICACHED_TIMEOUT", 30*time.Second)
+	if err != nil {
+		return err
+	}
+	maxEvents, err := envUint("MICACHED_MAX_EVENTS", 0)
+	if err != nil {
+		return err
+	}
+	watchdog, err := envDuration("MICACHED_WATCHDOG", 5*time.Second)
+	if err != nil {
+		return err
+	}
+	maxScale, err := envFloat("MICACHED_MAX_SCALE", 1.0)
+	if err != nil {
+		return err
+	}
+	if workers < 1 || queue < 0 {
+		return fmt.Errorf("MICACHED_WORKERS must be >= 1 and MICACHED_QUEUE >= 0")
+	}
+	if !(maxScale > 0) || math.IsInf(maxScale, 0) {
+		return fmt.Errorf("MICACHED_MAX_SCALE must be positive and finite")
+	}
+
+	srv := newServer(cfg, serverOpts{
+		Workers:   workers,
+		Queue:     queue,
+		Timeout:   timeout,
+		MaxEvents: maxEvents,
+		Watchdog:  watchdog,
+		MaxScale:  maxScale,
+		Log:       logger,
+	})
+
+	addr := os.Getenv("MICACHED_ADDR")
+	if addr == "" {
+		addr = ":8080"
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Info("micached listening", "addr", addr, "workers", workers, "queue", queue,
+		"timeout", timeout, "maxEvents", maxEvents, "watchdog", watchdog)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work, let in-flight and queued runs finish.
+	// Their own budgets bound how long that can take; the shutdown
+	// context is a final backstop above the largest of them.
+	stop() // a second signal kills the process the default way
+	srv.beginDrain()
+	logger.Info("draining", "inflight", srv.Inflight())
+	backstop := 2*timeout + 30*time.Second
+	if timeout <= 0 {
+		backstop = 5 * time.Minute
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), backstop)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("drained, exiting")
+	return nil
+}
+
+func envInt(name string, def int) (int, error) {
+	s := os.Getenv(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: %w", name, s, err)
+	}
+	return v, nil
+}
+
+func envUint(name string, def uint64) (uint64, error) {
+	s := os.Getenv(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: %w", name, s, err)
+	}
+	return v, nil
+}
+
+func envFloat(name string, def float64) (float64, error) {
+	s := os.Getenv(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: %w", name, s, err)
+	}
+	return v, nil
+}
+
+func envDuration(name string, def time.Duration) (time.Duration, error) {
+	s := os.Getenv(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q: %w", name, s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// server runs simulation cells from a shared warm SystemPool with
+// bounded concurrency and bounded queueing. The zero value is not
+// usable; build with newServer.
+type server struct {
+	cfg  core.Config
+	pool *core.SystemPool
+	log  *slog.Logger
+
+	// sem holds one slot per concurrent simulation; queueMax bounds
+	// how many acquirers may block on it before new arrivals are
+	// refused outright.
+	sem      chan struct{}
+	queueMax int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	timeout   time.Duration
+	maxEvents uint64
+	watchdog  time.Duration
+	maxScale  float64
+
+	// runFn is (*core.System).RunBudgeted in production; tests swap it
+	// to control timing (backpressure, drain) and failure injection
+	// (panic isolation) deterministically.
+	runFn func(*core.System, workloads.Workload, core.Budgets) (stats.Snapshot, error)
+}
+
+type serverOpts struct {
+	Workers   int
+	Queue     int
+	Timeout   time.Duration
+	MaxEvents uint64
+	Watchdog  time.Duration
+	MaxScale  float64
+	Log       *slog.Logger
+}
+
+func newServer(cfg core.Config, o serverOpts) *server {
+	if o.Log == nil {
+		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &server{
+		cfg:       cfg,
+		pool:      core.NewSystemPool(cfg),
+		log:       o.Log,
+		sem:       make(chan struct{}, o.Workers),
+		queueMax:  int64(o.Queue),
+		timeout:   o.Timeout,
+		maxEvents: o.MaxEvents,
+		watchdog:  o.Watchdog,
+		maxScale:  o.MaxScale,
+		runFn:     (*core.System).RunBudgeted,
+	}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// beginDrain flips the server into shutdown mode: /healthz reports 503
+// and new /run requests are refused, while requests already admitted
+// (running or queued) proceed to completion.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// Inflight reports how many admitted runs have not finished.
+func (s *server) Inflight() int64 { return s.inflight.Load() }
+
+type runRequest struct {
+	Workload string  `json:"workload"`
+	Variant  string  `json:"variant"`
+	Scale    float64 `json:"scale"`
+}
+
+type runResponse struct {
+	Workload  string         `json:"workload"`
+	Variant   string         `json:"variant"`
+	Scale     float64        `json:"scale"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	GVOPS     float64        `json:"gvops"`
+	GMRs      float64        `json:"gmrs"`
+	Snapshot  stats.Snapshot `json:"snapshot"`
+}
+
+type errResponse struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+	Fired  uint64 `json:"events_fired,omitempty"`
+	Clock  uint64 `json:"clock,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "server is draining"})
+		return
+	}
+
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	spec, err := workloads.ByName(req.Workload)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+	v, err := core.VariantByLabel(req.Variant)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = 1.0
+	}
+	if !(req.Scale > 0) || math.IsInf(req.Scale, 0) || req.Scale > s.maxScale {
+		writeJSON(w, http.StatusBadRequest, errResponse{
+			Error: fmt.Sprintf("scale must be in (0, %g], got %g", s.maxScale, req.Scale)})
+		return
+	}
+
+	// Admission: take a worker slot if one is free; otherwise wait in
+	// the bounded queue. Anything beyond queue capacity is refused NOW
+	// — a client retrying against an overloaded server should back
+	// off, not stack up goroutines.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.queued.Add(1) > s.queueMax {
+			s.queued.Add(-1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errResponse{Error: "server saturated: worker and queue slots full"})
+			return
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "canceled while queued"})
+			return
+		}
+	}
+	defer func() { <-s.sem }()
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	sys, err := s.pool.Get(v)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
+		return
+	}
+
+	b := core.Budgets{
+		Ctx:              r.Context(),
+		MaxEvents:        s.maxEvents,
+		Timeout:          s.timeout,
+		WatchdogInterval: s.watchdog,
+		OnStall: func(si core.StallInfo) {
+			s.log.Warn("run stalled", "workload", si.Workload, "variant", si.Variant,
+				"fired", si.Fired, "interval", si.Interval)
+		},
+	}
+
+	start := time.Now()
+	snap, runErr, panicked := s.runIsolated(sys, spec.Build(workloads.Scale(req.Scale)), b)
+	elapsed := time.Since(start)
+
+	switch {
+	case panicked:
+		// The system's state is unknown; abandon it to the GC rather
+		// than re-pool it. The server itself keeps serving.
+		s.log.Error("run panicked", "workload", req.Workload, "variant", req.Variant, "err", runErr)
+		writeJSON(w, http.StatusInternalServerError, errResponse{Error: runErr.Error()})
+	case runErr == nil:
+		s.pool.Put(sys)
+		writeJSON(w, http.StatusOK, runResponse{
+			Workload:  req.Workload,
+			Variant:   req.Variant,
+			Scale:     req.Scale,
+			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
+			GVOPS:     snap.GVOPS(s.cfg.GPUClockMHz),
+			GMRs:      snap.GMRs(s.cfg.GPUClockMHz),
+			Snapshot:  snap,
+		})
+	default:
+		var be *core.ErrBudgetExceeded
+		var dl *core.ErrDeadlock
+		switch {
+		case errors.As(runErr, &be):
+			// Interrupted, not broken: Put resets the system, and the
+			// chaos tests pin that reset-after-interrupt ≡ fresh.
+			s.pool.Put(sys)
+			s.log.Warn("run over budget", "workload", req.Workload, "variant", req.Variant,
+				"reason", be.Reason, "fired", be.Fired, "elapsed", elapsed)
+			writeJSON(w, http.StatusGatewayTimeout, errResponse{
+				Error:  runErr.Error(),
+				Reason: string(be.Reason),
+				Fired:  be.Fired,
+				Clock:  uint64(be.Clock),
+			})
+		case errors.As(runErr, &dl):
+			// A deadlock means the model misbehaved; the system's
+			// state is not trusted for reuse.
+			s.log.Error("run deadlocked", "workload", req.Workload, "variant", req.Variant,
+				"clock", dl.Clock, "fired", dl.Fired, "pending", dl.Pending)
+			writeJSON(w, http.StatusInternalServerError, errResponse{
+				Error: runErr.Error(),
+				Fired: dl.Fired,
+				Clock: uint64(dl.Clock),
+			})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errResponse{Error: runErr.Error()})
+		}
+	}
+}
+
+// runIsolated runs one cell, converting a panic into an error so one
+// bad request cannot take the server down. The caller must not re-pool
+// the system when panicked is true.
+func (s *server) runIsolated(sys *core.System, w workloads.Workload, b core.Budgets) (snap stats.Snapshot, err error, panicked bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("run panicked: %v", p)
+			panicked = true
+		}
+	}()
+	snap, err = s.runFn(sys, w, b)
+	return snap, err, false
+}

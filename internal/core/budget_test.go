@@ -1,0 +1,372 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// TestMaxEventsBudget pins the event-count budget: the run stops within
+// one poll interval of the budget, returns a fully populated
+// *ErrBudgetExceeded, and leaves partial statistics inside it.
+func TestMaxEventsBudget(t *testing.T) {
+	spec, err := workloads.ByName("FwPool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheRW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(testConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 5000
+	_, err = sys.RunBudgeted(spec.Build(testScale), Budgets{MaxEvents: budget})
+	var be *ErrBudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *ErrBudgetExceeded", err)
+	}
+	if be.Reason != ReasonMaxEvents {
+		t.Fatalf("reason = %s, want %s", be.Reason, ReasonMaxEvents)
+	}
+	if be.Workload != "FwPool" || be.Variant != "CacheRW" {
+		t.Fatalf("error names %s/%s, want FwPool/CacheRW", be.Workload, be.Variant)
+	}
+	if be.Fired < budget {
+		t.Fatalf("stopped after %d events, before the %d budget", be.Fired, budget)
+	}
+	// Poll granularity is one bucket drain (or one 1024-event cascade
+	// interval); the overshoot must stay in that ballpark, not be
+	// unbounded.
+	if be.Fired > budget+100000 {
+		t.Fatalf("budget overshot wildly: %d events for a %d budget", be.Fired, budget)
+	}
+	if be.Clock == 0 || uint64(be.Clock) != be.Partial.Cycles {
+		t.Fatalf("partial snapshot cycles %d inconsistent with clock %d", be.Partial.Cycles, be.Clock)
+	}
+	if be.Partial.GPUMemRequests == 0 {
+		t.Fatal("partial snapshot is empty; diagnostics lost")
+	}
+	for _, part := range []string{"FwPool", "CacheRW", "max-events", "pending"} {
+		if !strings.Contains(be.Error(), part) {
+			t.Fatalf("error %q does not mention %q", be.Error(), part)
+		}
+	}
+}
+
+// TestBudgetsNotHitAreInert: a run under generous budgets (and a live
+// context and watchdog) is byte-identical to an unbudgeted run — the
+// polls have no observable side effects.
+func TestBudgetsNotHitAreInert(t *testing.T) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheRW-PCby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(testConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustRun(t, sys, spec.Build(testScale))
+
+	sys.Reset()
+	got, err := sys.RunBudgeted(spec.Build(testScale), Budgets{
+		Ctx:              context.Background(),
+		MaxEvents:        1 << 62,
+		Timeout:          time.Hour,
+		WatchdogInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("budgeted run differs from plain run:\nplain:    %+v\nbudgeted: %+v", want, got)
+	}
+}
+
+// TestPreCanceledContext: a context canceled before the run starts
+// reports immediately, without simulating anything.
+func TestPreCanceledContext(t *testing.T) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(testConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, rerr := sys.RunBudgeted(spec.Build(testScale), Budgets{Ctx: ctx})
+	var be *ErrBudgetExceeded
+	if !errors.As(rerr, &be) {
+		t.Fatalf("err = %v, want *ErrBudgetExceeded", rerr)
+	}
+	if be.Reason != ReasonCanceled || be.Fired != 0 {
+		t.Fatalf("pre-canceled run: reason=%s fired=%d, want canceled/0", be.Reason, be.Fired)
+	}
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatal("errors.Is(err, context.Canceled) = false")
+	}
+}
+
+// TestCancelMidRunThenReuse cancels a run from another goroutine, checks
+// the structured error, and proves the interrupted system is reusable
+// after Reset (the re-pool contract).
+func TestCancelMidRunThenReuse(t *testing.T) {
+	spec, err := workloads.ByName("FwPool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheRW-PCby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(testConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustRun(t, sys, spec.Build(testScale))
+
+	sys.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, rerr := sys.RunBudgeted(spec.Build(testScale), Budgets{Ctx: ctx})
+	if rerr == nil {
+		// The whole run beat the cancel on this host; nothing to check
+		// beyond the result being intact.
+		t.Log("run completed before cancellation; skipping cancel assertions")
+	} else {
+		if !errors.Is(rerr, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", rerr)
+		}
+		var be *ErrBudgetExceeded
+		if !errors.As(rerr, &be) || be.Reason != ReasonCanceled {
+			t.Fatalf("err = %v, want ErrBudgetExceeded/canceled", rerr)
+		}
+	}
+
+	// Reset-after-cancel: the rerun must be byte-identical to fresh.
+	sys.Reset()
+	got := mustRun(t, sys, spec.Build(testScale))
+	if got != want {
+		t.Fatalf("rerun after canceled run differs from fresh:\nfresh: %+v\nrerun: %+v", want, got)
+	}
+}
+
+// TestWallClockTimeout bounds a cell by wall time. Timing-dependent by
+// nature: the budget is far below the cell's real runtime, and the
+// assertions accept completion on an absurdly fast host.
+func TestWallClockTimeout(t *testing.T) {
+	spec, err := workloads.ByName("CM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheRW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(testConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rerr := sys.RunBudgeted(spec.Build(testScale), Budgets{Timeout: time.Millisecond})
+	if rerr == nil {
+		t.Log("CM cell finished within 1ms on this host; skipping timeout assertions")
+		return
+	}
+	var be *ErrBudgetExceeded
+	if !errors.As(rerr, &be) || be.Reason != ReasonTimeout {
+		t.Fatalf("err = %v, want ErrBudgetExceeded/timeout", rerr)
+	}
+	if be.Elapsed < time.Millisecond {
+		t.Fatalf("elapsed %v below the 1ms budget", be.Elapsed)
+	}
+}
+
+// TestWatchdogDetectsStall wedges the simulation goroutine inside one
+// event callback (the livelock shape budgets cannot see) and checks the
+// watchdog reports it through OnStall and stops the run as soon as the
+// engine polls again.
+func TestWatchdogDetectsStall(t *testing.T) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(testConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One event that blocks the engine for several watchdog intervals.
+	sys.Sim.Schedule(0, func() { time.Sleep(300 * time.Millisecond) })
+	stalls := make(chan StallInfo, 1)
+	_, rerr := sys.RunBudgeted(spec.Build(testScale), Budgets{
+		WatchdogInterval: 25 * time.Millisecond,
+		OnStall: func(si StallInfo) {
+			select {
+			case stalls <- si:
+			default:
+			}
+		},
+	})
+	var be *ErrBudgetExceeded
+	if !errors.As(rerr, &be) || be.Reason != ReasonStalled {
+		t.Fatalf("err = %v, want ErrBudgetExceeded/stalled", rerr)
+	}
+	select {
+	case si := <-stalls:
+		if si.Workload != "FwSoft" || si.Variant != "CacheR" {
+			t.Fatalf("stall report names %s/%s, want FwSoft/CacheR", si.Workload, si.Variant)
+		}
+		if si.Interval != 25*time.Millisecond {
+			t.Fatalf("stall report interval %v, want 25ms", si.Interval)
+		}
+	default:
+		t.Fatal("watchdog stopped the run without calling OnStall")
+	}
+
+	// The stalled system is still reusable after Reset.
+	sys.Reset()
+	if snap := mustRun(t, sys, spec.Build(testScale)); snap.Cycles == 0 {
+		t.Fatal("reset-after-stall system produced an empty run")
+	}
+}
+
+// TestDeadlockReturnsTypedError reproduces a lost-wake-up deadlock (the
+// GPU's memory ports swallow every request, so waves wait forever) and
+// checks Run now returns *ErrDeadlock instead of panicking.
+func TestDeadlockReturnsTypedError(t *testing.T) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheRW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(testConfig(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blackhole := cache.PortFunc(func(req *mem.Request) {})
+	ports := make([]cache.Port, len(sys.L1s))
+	for i := range ports {
+		ports[i] = blackhole
+	}
+	sys.GPU.SetPorts(ports)
+
+	_, rerr := sys.Run(spec.Build(testScale))
+	var dl *ErrDeadlock
+	if !errors.As(rerr, &dl) {
+		t.Fatalf("err = %v, want *ErrDeadlock", rerr)
+	}
+	if dl.Workload != "FwSoft" || dl.Variant != "CacheRW" {
+		t.Fatalf("deadlock names %s/%s, want FwSoft/CacheRW", dl.Workload, dl.Variant)
+	}
+	if dl.Fired == 0 {
+		t.Fatal("deadlock diagnostics lost the fired-event count")
+	}
+	for _, part := range []string{"FwSoft", "CacheRW", "deadlock", "pending"} {
+		if !strings.Contains(dl.Error(), part) {
+			t.Fatalf("deadlock message %q does not mention %q", dl.Error(), part)
+		}
+	}
+}
+
+// TestMatrixBudgets drives the budget layer through RunMatrixWith on
+// both execution paths: an event budget every cell trips, and a
+// pre-canceled matrix context.
+func TestMatrixBudgets(t *testing.T) {
+	cfg := testConfig()
+	specs := smallSpecs(t, "FwSoft", "BwSoft")
+	vs := StaticVariants()
+
+	for _, workers := range []int{1, 2} {
+		_, err := RunMatrixWith(cfg, vs, specs, testScale,
+			RunMatrixOpts{Workers: workers, MaxEventsPerCell: 50})
+		var be *ErrBudgetExceeded
+		if !errors.As(err, &be) {
+			t.Fatalf("Workers=%d: err = %v, want *ErrBudgetExceeded", workers, err)
+		}
+		// First error in cell order: the matrix is spec-major, so the
+		// first cell is FwSoft under the first static variant.
+		if be.Workload != "FwSoft" || be.Variant != "Uncached" {
+			t.Fatalf("Workers=%d: first budget error from %s/%s, want FwSoft/Uncached",
+				workers, be.Workload, be.Variant)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err = RunMatrixWith(cfg, vs, specs, testScale,
+			RunMatrixOpts{Workers: workers, Ctx: ctx})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Workers=%d: canceled matrix err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestBudgetStoppedSystemsAreRepooled pins the pool interaction: a
+// budget-interrupted cell returns its (reset) system to the pool, so an
+// over-budget sweep never rebuilds systems per cell.
+func TestBudgetStoppedSystemsAreRepooled(t *testing.T) {
+	cfg := testConfig()
+	specs := smallSpecs(t, "FwSoft", "BwSoft", "FwAct")
+	v, err := VariantByLabel("CacheR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewSystemPool(cfg)
+	for _, spec := range specs {
+		_, err := RunMatrixWith(cfg, []Variant{v}, []workloads.Spec{spec}, testScale,
+			RunMatrixOpts{Workers: 1, Pool: pool, MaxEventsPerCell: 50})
+		var be *ErrBudgetExceeded
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: err = %v, want budget error", spec.Name, err)
+		}
+	}
+	built, reused := pool.Counts()
+	if built != 1 {
+		t.Fatalf("pool built %d systems across budget-tripped cells, want 1 (re-pooled)", built)
+	}
+	if reused != uint64(len(specs)-1) {
+		t.Fatalf("pool reuse count %d, want %d", reused, len(specs)-1)
+	}
+
+	// And the re-pooled systems are clean: a full unbudgeted matrix from
+	// the same pool matches a cold reference.
+	ref, err := RunMatrixWith(cfg, []Variant{v}, specs, testScale, RunMatrixOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunMatrixWith(cfg, []Variant{v}, specs, testScale, RunMatrixOpts{Workers: 1, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("cell %d (%s) from a budget-recycled pool differs from cold reference", i, ref[i].Workload)
+		}
+	}
+}

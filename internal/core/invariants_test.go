@@ -88,7 +88,7 @@ func TestNoResidualDirtyAfterRun(t *testing.T) {
 			t.Fatal(err)
 		}
 		w := spec.Build(testScale)
-		sys.Run(w)
+		mustRun(t, sys, w)
 		if got := sys.L2.DirtyLines(); got != 0 {
 			t.Errorf("%s: %d dirty L2 lines after final flush", name, got)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -85,15 +86,25 @@ func (p *SystemPool) Counts() (built, reused uint64) {
 }
 
 // runCell executes one (spec, variant) cell on a pooled system. On
-// success the system goes back to the pool; a panic (e.g. the deadlock
-// diagnostic in System.Run) leaves it out, so a wedged system is never
-// reused.
-func runCell(pool *SystemPool, v Variant, spec workloads.Spec, scale workloads.Scale) (Result, error) {
+// success the system goes back to the pool. A budget-interrupted cell's
+// system is also re-pooled: Put resets it, and the chaos tests pin that
+// a reset-after-interrupt system is byte-identical to a fresh one. A
+// deadlocked cell's system is discarded — a deadlock means the model
+// itself misbehaved, so its state is not trusted for reuse — and a
+// panicking cell's system is abandoned by the unwind, never re-pooled.
+func runCell(pool *SystemPool, v Variant, spec workloads.Spec, scale workloads.Scale, b Budgets) (Result, error) {
 	sys, err := pool.Get(v)
 	if err != nil {
 		return Result{}, err
 	}
-	r := runOn(sys, spec, scale)
+	r, err := runOn(sys, spec, scale, b)
+	if err != nil {
+		var be *ErrBudgetExceeded
+		if errors.As(err, &be) {
+			pool.Put(sys)
+		}
+		return Result{}, err
+	}
 	pool.Put(sys)
 	return r, nil
 }

@@ -35,7 +35,10 @@ func TestProfileRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := spec.Build(workloads.Scale(scale))
-	snap := sys.Run(w)
+	snap, err := sys.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("%s/%s: %s", name, label, snap.String())
 	// MaxQueueLen is the pending-event high-water mark summed across the
 	// engine's wheel buckets and overflow heap (not a single heap length).

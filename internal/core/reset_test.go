@@ -28,15 +28,15 @@ func TestResetEquivalentToFresh(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			fresh := sys.Run(spec.Build(testScale))
+			fresh := mustRun(t, sys, spec.Build(testScale))
 			sys.Reset()
-			again := sys.Run(spec.Build(testScale))
+			again := mustRun(t, sys, spec.Build(testScale))
 			if again != fresh {
 				t.Fatalf("reset run differs from fresh run:\nfresh: %+v\nreset: %+v", fresh, again)
 			}
 			// A second reset cycle must also hold (no slow state drift).
 			sys.Reset()
-			third := sys.Run(spec.Build(testScale))
+			third := mustRun(t, sys, spec.Build(testScale))
 			if third != fresh {
 				t.Fatalf("second reset run differs from fresh run:\nfresh: %+v\nreset: %+v", fresh, third)
 			}
@@ -74,15 +74,15 @@ func TestResetNoCrossWorkloadLeakage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantB := reference.Run(b.Build(testScale))
+		wantB := mustRun(t, reference, b.Build(testScale))
 
 		reused, err := NewSystem(cfg, variant)
 		if err != nil {
 			t.Fatal(err)
 		}
-		reused.Run(a.Build(testScale))
+		mustRun(t, reused, a.Build(testScale))
 		reused.Reset()
-		gotB := reused.Run(b.Build(testScale))
+		gotB := mustRun(t, reused, b.Build(testScale))
 		if gotB != wantB {
 			t.Fatalf("%s: B after A+Reset differs from B on a fresh system:\nfresh: %+v\nreused: %+v",
 				v, wantB, gotB)

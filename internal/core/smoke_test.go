@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -17,6 +18,17 @@ func testConfig() Config {
 	cfg.GPU.CUs = 8
 	cfg.L2.SizeBytes = 256 << 10
 	return cfg
+}
+
+// mustRun runs w on sys, failing the test on any run error (deadlock or
+// budget interruption).
+func mustRun(tb testing.TB, sys *System, w workloads.Workload) stats.Snapshot {
+	tb.Helper()
+	snap, err := sys.Run(w)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return snap
 }
 
 func TestSmokeAllVariantsTinyWorkload(t *testing.T) {

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/coherence"
@@ -104,25 +107,12 @@ func (s *System) Reset() {
 }
 
 // Run executes a built workload to completion (including the final
-// system-scope flush) and returns the run's statistics.
-func (s *System) Run(w workloads.Workload) stats.Snapshot {
-	finished := false
-	s.GPU.RunWorkload(w.Kernels, func() {
-		s.Engine.Finish(func() { finished = true })
-	})
-	s.Sim.Run()
-	if !finished {
-		name := w.Name
-		if name == "" {
-			name = "unnamed workload"
-		}
-		// Pending() distinguishes a true deadlock (queued-but-unreachable
-		// events, e.g. a wait chain that lost its wake-up) from a quietly
-		// drained engine whose completion callback never ran.
-		panic(fmt.Sprintf("core: %s/%s did not finish (deadlock: %d events fired, %d pending)",
-			s.Variant.Label, name, s.Sim.Fired(), s.Sim.Pending()))
-	}
-	return s.Snapshot(w)
+// system-scope flush) and returns the run's statistics. A workload that
+// can never finish returns *ErrDeadlock (it used to panic; panics are
+// reserved for internal wiring errors). To bound a run — cancellation,
+// event or wall-clock budgets, a livelock watchdog — use RunBudgeted.
+func (s *System) Run(w workloads.Workload) (stats.Snapshot, error) {
+	return s.RunBudgeted(w, Budgets{})
 }
 
 // Snapshot assembles the statistics of the run so far. The GPU's
@@ -176,24 +166,35 @@ type Result struct {
 
 // RunOne builds a fresh system and runs one workload under one variant.
 func RunOne(cfg Config, v Variant, spec workloads.Spec, scale workloads.Scale) (Result, error) {
+	return RunOneWith(cfg, v, spec, scale, Budgets{})
+}
+
+// RunOneWith is RunOne under explicit Budgets: single-cell callers (the
+// CLI's -workload mode, the micached request path) get cancellation and
+// budget enforcement without going through the matrix harness.
+func RunOneWith(cfg Config, v Variant, spec workloads.Spec, scale workloads.Scale, b Budgets) (Result, error) {
 	sys, err := NewSystem(cfg, v)
 	if err != nil {
 		return Result{}, err
 	}
-	return runOn(sys, spec, scale), nil
+	return runOn(sys, spec, scale, b)
 }
 
-// runOn builds spec's workload, runs it on sys, and assembles the cell
-// Result. It is shared by RunOne (fresh systems) and the matrix pool.
-func runOn(sys *System, spec workloads.Spec, scale workloads.Scale) Result {
+// runOn builds spec's workload, runs it on sys under b, and assembles
+// the cell Result. It is shared by RunOneWith (fresh systems) and the
+// matrix pool.
+func runOn(sys *System, spec workloads.Spec, scale workloads.Scale, b Budgets) (Result, error) {
 	w := spec.Build(scale)
 	if w.Name == "" {
 		// Custom specs built outside workloads.All() may not stamp the
 		// name; diagnostics should still identify the cell.
 		w.Name = spec.Name
 	}
-	snap := sys.Run(w)
-	return Result{Workload: spec.Name, Class: spec.Class, Variant: sys.Variant.Label, Snap: snap}
+	snap, err := sys.RunBudgeted(w, b)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Workload: spec.Name, Class: spec.Class, Variant: sys.Variant.Label, Snap: snap}, nil
 }
 
 // RunMatrixOpts configures RunMatrixWith.
@@ -221,6 +222,29 @@ type RunMatrixOpts struct {
 	// the workers join. Snapshot addition is commutative, so the result
 	// is identical to the sequential cell-order sum.
 	TotalsOut *stats.Snapshot
+	// Ctx, if non-nil, cancels the whole matrix: in-flight cells stop
+	// cooperatively (their run returns ErrBudgetExceeded wrapping the
+	// context error) and unstarted cells are skipped. The first error in
+	// cell order is returned, as usual; errors.Is sees the context
+	// error through it.
+	Ctx context.Context
+	// MaxEventsPerCell, if non-zero, bounds each cell's fired-event
+	// count; a cell over budget returns ErrBudgetExceeded with partial
+	// statistics instead of running forever.
+	MaxEventsPerCell uint64
+	// CellTimeout, if non-zero, bounds each cell's wall-clock time the
+	// same way.
+	CellTimeout time.Duration
+}
+
+// budgets assembles the per-cell Budgets these options request.
+func (o RunMatrixOpts) budgets() Budgets {
+	return Budgets{Ctx: o.Ctx, MaxEvents: o.MaxEventsPerCell, Timeout: o.CellTimeout}
+}
+
+// bounded reports whether any per-cell budget is configured.
+func (o RunMatrixOpts) bounded() bool {
+	return o.Ctx != nil || o.MaxEventsPerCell != 0 || o.CellTimeout != 0
 }
 
 // EffectiveWorkers resolves the worker count these options request,
@@ -249,9 +273,25 @@ func RunMatrix(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads
 // results are returned in the same deterministic spec-major order and
 // with identical content regardless of worker count or pooling, and the
 // first error in cell order is returned, matching the sequential path.
-// A panic inside a cell (e.g. the deadlock diagnostic in System.Run) is
-// re-raised on the calling goroutine wrapped in CellPanic, naming the
-// (workload, variant) cell it came from.
+// A deadlocked cell returns *ErrDeadlock and an over-budget or canceled
+// cell *ErrBudgetExceeded (see RunMatrixOpts.Ctx/MaxEventsPerCell/
+// CellTimeout), both reachable through errors.As on the returned error.
+// A panic inside a cell (an internal wiring error) is re-raised on the
+// calling goroutine wrapped in CellPanic, naming the (workload, variant)
+// cell it came from.
+// wrapCellErr labels a cell error with its (workload, variant) unless
+// the error already carries that identity — budget and deadlock errors
+// name their cell, and double-prefixing them makes the CLI output read
+// like two errors.
+func wrapCellErr(workload, variant string, err error) error {
+	var be *ErrBudgetExceeded
+	var dl *ErrDeadlock
+	if errors.As(err, &be) || errors.As(err, &dl) {
+		return err
+	}
+	return fmt.Errorf("core: %s under %s: %w", workload, variant, err)
+}
+
 func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads.Scale, opts RunMatrixOpts) ([]Result, error) {
 	type cell struct {
 		spec workloads.Spec
@@ -277,22 +317,29 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 		workers = total
 	}
 
+	budgets := opts.budgets()
+
 	if workers <= 1 {
 		// Sequential path: no goroutines, stop at the first error.
 		// Panics are labeled with the cell exactly as on the parallel
 		// path, so callers see one behaviour regardless of Workers.
 		out := make([]Result, 0, total)
 		for i, c := range cells {
+			if opts.Ctx != nil {
+				if err := opts.Ctx.Err(); err != nil {
+					return nil, fmt.Errorf("core: %s under %s skipped: %w", c.spec.Name, c.v.Label, err)
+				}
+			}
 			r, err := func() (Result, error) {
 				defer func() {
 					if p := recover(); p != nil {
 						panic(CellPanic{Workload: c.spec.Name, Variant: c.v.Label, Value: p})
 					}
 				}()
-				return runCell(pool, c.v, c.spec, scale)
+				return runCell(pool, c.v, c.spec, scale, budgets)
 			}()
 			if err != nil {
-				return nil, fmt.Errorf("core: %s under %s: %w", c.spec.Name, c.v.Label, err)
+				return nil, wrapCellErr(c.spec.Name, c.v.Label, err)
 			}
 			out = append(out, r)
 			if opts.Progress != nil {
@@ -331,8 +378,16 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 					return
 				}
 				c := cells[i]
-				// Capture panics (e.g. a deadlocked cell's diagnostic
-				// panic in System.Run) instead of crashing the process
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					// The matrix was canceled: mark this (unstarted)
+					// cell and keep claiming, so every remaining slot is
+					// accounted for and the join is quick. In-flight
+					// cells stop through their own per-cell budget.
+					errs[i] = fmt.Errorf("core: %s under %s skipped: %w", c.spec.Name, c.v.Label, opts.Ctx.Err())
+					continue
+				}
+				// Capture panics (e.g. a malformed kernel's diagnostic
+				// panic in gpu.launch) instead of crashing the process
 				// from an unrecoverable worker goroutine; they are
 				// re-raised on the calling goroutine below — wrapped in
 				// CellPanic so the failing cell is identifiable from the
@@ -343,9 +398,9 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 							panics[i] = CellPanic{Workload: c.spec.Name, Variant: c.v.Label, Value: p}
 						}
 					}()
-					r, err := runCell(pool, c.v, c.spec, scale)
+					r, err := runCell(pool, c.v, c.spec, scale, budgets)
 					if err != nil {
-						errs[i] = fmt.Errorf("core: %s under %s: %w", c.spec.Name, c.v.Label, err)
+						errs[i] = wrapCellErr(c.spec.Name, c.v.Label, err)
 					} else {
 						results[i] = r
 						if opts.TotalsOut != nil {

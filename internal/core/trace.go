@@ -35,7 +35,10 @@ func RunRecorded(cfg Config, v Variant, spec workloads.Spec, scale workloads.Sca
 	if w.Name == "" {
 		w.Name = spec.Name
 	}
-	snap := sys.Run(w)
+	snap, err := sys.Run(w)
+	if err != nil {
+		return Result{}, nil, err
+	}
 	r := Result{Workload: spec.Name, Class: spec.Class, Variant: v.Label, Snap: snap}
 	return r, &rec.Trace, nil
 }

@@ -36,13 +36,36 @@
 // all that matters — coarse one-off timers can spill freely.
 package event
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cycle is a point in simulated time, in GPU clock cycles.
 type Cycle uint64
 
 // Func is the callback invoked when an event fires.
 type Func func()
+
+// ErrStopped describes a Run or RunUntil that returned early because the
+// cooperative stop condition (SetStop) fired: the clock and fired-event
+// count at the stop point, and how many events were left pending. The
+// harness layers above (budgets, cancellation, watchdogs) wrap it into
+// their own diagnostics.
+type ErrStopped struct {
+	// Clock is the simulated cycle at which the run stopped.
+	Clock Cycle
+	// Fired is the number of events executed when the stop triggered.
+	Fired uint64
+	// Pending is the number of events still waiting to fire.
+	Pending int
+}
+
+// Error implements error.
+func (e *ErrStopped) Error() string {
+	return fmt.Sprintf("event: run stopped at cycle %d (%d events fired, %d pending)",
+		e.Clock, e.Fired, e.Pending)
+}
 
 const (
 	// wheelBits sizes the near-horizon bucket ring. It must be at least
@@ -106,6 +129,14 @@ type Sim struct {
 	seq      uint64
 
 	maxLen int
+
+	// stop, when non-nil, is the cooperative stop condition: polled once
+	// per bucket drain (and at cascade-compaction points, so unbounded
+	// same-cycle cascades stay interruptible). When it returns true the
+	// current Run/RunUntil returns early with stopped set. Unset, it
+	// costs one nil check per clock advance — nothing per event.
+	stop    func() bool
+	stopped bool
 }
 
 // New returns a fresh simulator at cycle 0.
@@ -120,6 +151,48 @@ func (s *Sim) Fired() uint64 { return s.fired }
 // Pending returns the number of events waiting to fire, across the wheel
 // buckets and the overflow heap.
 func (s *Sim) Pending() int { return s.wheelLive + len(s.overflow) }
+
+// SetStop installs (or, with nil, removes) the cooperative stop
+// condition. The engine polls it once per bucket drain — i.e. once per
+// clock advance that had events — and additionally every
+// bucketCompactLen events inside a sustained same-cycle cascade, so
+// every livelock shape is polled at a bounded event interval. When the
+// poll returns true, the running Run/RunUntil returns immediately with
+// events still pending; Stopped reports the interruption and StopError
+// describes it. SetStop clears any previous stop state.
+//
+// The stop function runs on the simulation goroutine between event
+// callbacks; it must not schedule events or re-enter the Sim. Polls are
+// bounded but not per-event: a stop request is honored within one
+// bucket (or one compaction interval), so budget enforcement built on
+// top overshoots by at most that much.
+func (s *Sim) SetStop(stop func() bool) {
+	s.stop = stop
+	s.stopped = false
+}
+
+// Stopped reports whether the most recent Run or RunUntil returned early
+// because the stop condition fired. Starting a new Run/RunUntil or
+// calling SetStop or Reset clears it.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// StopError returns an *ErrStopped describing the interrupted run, or
+// nil when the engine is not stopped.
+func (s *Sim) StopError() *ErrStopped {
+	if !s.stopped {
+		return nil
+	}
+	return &ErrStopped{Clock: s.now, Fired: s.fired, Pending: s.Pending()}
+}
+
+// checkStop polls the stop condition, latching stopped. It reports
+// whether the current drain loop should bail out.
+func (s *Sim) checkStop() bool {
+	if s.stop != nil && s.stop() {
+		s.stopped = true
+	}
+	return s.stopped
+}
 
 // Schedule arranges for fn to run delay cycles from now. A delay of zero
 // runs fn later in the current cycle, after already-queued same-cycle
@@ -309,10 +382,16 @@ func (s *Sim) drainCurrent() {
 		b := int(s.now) & wheelMask
 		if s.head >= len(s.wheel[b]) {
 			s.finalizeBucket(b)
+			s.checkStop() // once per bucket drain; Run/RunUntil observe stopped
 			return
 		}
 		if s.head >= bucketCompactLen {
 			s.compactBucket(b)
+			if s.checkStop() {
+				// Mid-cascade stop: leave the undrained tail in place
+				// (Reset handles a mid-drain bucket) and bail out.
+				return
+			}
 		}
 		fn := s.wheel[b][s.head]
 		s.wheel[b][s.head] = nil // release the callback so it can be collected
@@ -349,9 +428,17 @@ func (s *Sim) Step() bool {
 }
 
 // Run executes events until the queue drains and returns the final cycle.
+// If a stop condition is installed (SetStop) and fires, Run returns early
+// at the stop cycle with events still pending; Stopped/StopError report
+// it. A stopped engine may be Run again (resuming where it stopped) or
+// Reset.
 func (s *Sim) Run() Cycle {
+	s.stopped = false
 	for {
 		s.drainCurrent()
+		if s.stopped {
+			return s.now
+		}
 		t, ok := s.nextTime()
 		if !ok {
 			return s.now
@@ -363,11 +450,17 @@ func (s *Sim) Run() Cycle {
 
 // RunUntil executes events with time ≤ limit. It returns true if the queue
 // drained, false if events at cycles beyond limit remain. A limit in the
-// past leaves the clock untouched: time never rewinds.
+// past leaves the clock untouched: time never rewinds. A stop condition
+// (SetStop) interrupts RunUntil exactly as it does Run; a stopped
+// RunUntil reports false without advancing the clock to limit.
 func (s *Sim) RunUntil(limit Cycle) bool {
+	s.stopped = false
 	if s.now <= limit {
 		for {
 			s.drainCurrent()
+			if s.stopped {
+				return false
+			}
 			t, ok := s.nextTime()
 			if !ok || t > limit {
 				break
@@ -433,4 +526,8 @@ func (s *Sim) Reset() {
 	s.seq = 0
 	s.fired = 0
 	s.maxLen = 0
+	// A fresh engine has no stop condition: budgets are installed per
+	// run by the harness, never inherited across a Reset.
+	s.stop = nil
+	s.stopped = false
 }

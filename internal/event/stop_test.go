@@ -1,0 +1,174 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStopBetweenBuckets pins the basic contract: the stop condition is
+// polled once per bucket drain, Run returns early with events pending,
+// and the engine can resume from exactly where it stopped.
+func TestStopBetweenBuckets(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 1; i <= 10; i++ {
+		i := i
+		s.At(Cycle(i), func() { order = append(order, i) })
+	}
+	s.SetStop(func() bool { return s.Fired() >= 3 })
+	end := s.Run()
+	if !s.Stopped() {
+		t.Fatal("Run did not report stopped")
+	}
+	if end != 3 || s.Now() != 3 {
+		t.Fatalf("stopped at cycle %d, want 3", end)
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("fired %d events before stopping, want 3", s.Fired())
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending %d after stop, want 7", s.Pending())
+	}
+	se := s.StopError()
+	if se == nil {
+		t.Fatal("StopError returned nil on a stopped engine")
+	}
+	if se.Clock != 3 || se.Fired != 3 || se.Pending != 7 {
+		t.Fatalf("StopError = %+v, want clock 3, fired 3, pending 7", se)
+	}
+	for _, part := range []string{"cycle 3", "3 events fired", "7 pending"} {
+		if !strings.Contains(se.Error(), part) {
+			t.Fatalf("StopError message %q does not mention %q", se.Error(), part)
+		}
+	}
+
+	// Resume: clearing the stop condition and re-running finishes the
+	// remaining events in order.
+	s.SetStop(nil)
+	if s.Stopped() {
+		t.Fatal("SetStop(nil) did not clear the stopped flag")
+	}
+	s.Run()
+	if len(order) != 10 {
+		t.Fatalf("resume fired %d total events, want 10", len(order))
+	}
+	for i, got := range order {
+		if got != i+1 {
+			t.Fatalf("event order %v not preserved across a stop/resume", order)
+		}
+	}
+	if s.StopError() != nil {
+		t.Fatal("StopError non-nil after a completed run")
+	}
+}
+
+// TestStopInterruptsSameCycleCascade proves an unbounded zero-delay
+// cascade — the livelock shape a per-bucket poll alone could never
+// interrupt — is stopped within one compaction interval.
+func TestStopInterruptsSameCycleCascade(t *testing.T) {
+	s := New()
+	var again func()
+	again = func() { s.Schedule(0, again) }
+	s.Schedule(0, again)
+	const budget = 5000
+	s.SetStop(func() bool { return s.Fired() >= budget })
+	s.Run()
+	if !s.Stopped() {
+		t.Fatal("cascade run did not stop")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("cascade advanced the clock to %d", s.Now())
+	}
+	// The poll interval inside a cascade is bucketCompactLen events, so
+	// the overshoot is bounded by it.
+	if s.Fired() < budget || s.Fired() > budget+bucketCompactLen {
+		t.Fatalf("cascade stopped after %d events, want within [%d, %d]",
+			s.Fired(), budget, budget+bucketCompactLen)
+	}
+}
+
+// TestStopThenResetIsFresh checks Reset fully clears stop state — the
+// condition itself, the stopped flag, and any mid-drain bucket — so a
+// pooled engine never inherits a previous run's budget.
+func TestStopThenResetIsFresh(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		i := i
+		s.At(Cycle(i), func() { s.Schedule(0, func() {}) })
+	}
+	s.SetStop(func() bool { return s.Fired() >= 7 })
+	s.Run()
+	if !s.Stopped() {
+		t.Fatal("run did not stop")
+	}
+	s.Reset()
+	if s.Stopped() || s.StopError() != nil {
+		t.Fatal("Reset did not clear stopped state")
+	}
+	if s.Now() != 0 || s.Fired() != 0 || s.Pending() != 0 {
+		t.Fatalf("Reset left state: now=%d fired=%d pending=%d", s.Now(), s.Fired(), s.Pending())
+	}
+	// The old stop condition must be gone: a full run fires everything.
+	fired := 0
+	for i := 0; i < 20; i++ {
+		s.At(Cycle(i), func() { fired++ })
+	}
+	s.Run()
+	if fired != 20 || s.Stopped() {
+		t.Fatalf("reset engine stopped again: fired %d/20, stopped=%v", fired, s.Stopped())
+	}
+}
+
+// TestRunUntilStop checks RunUntil honors the stop condition and does
+// not advance the clock to the limit when interrupted.
+func TestRunUntilStop(t *testing.T) {
+	s := New()
+	for i := 1; i <= 10; i++ {
+		s.At(Cycle(i), func() {})
+	}
+	s.SetStop(func() bool { return s.Fired() >= 4 })
+	if s.RunUntil(100) {
+		t.Fatal("stopped RunUntil reported drained")
+	}
+	if !s.Stopped() {
+		t.Fatal("RunUntil did not report stopped")
+	}
+	if s.Now() != 4 {
+		t.Fatalf("stopped RunUntil advanced the clock to %d, want 4", s.Now())
+	}
+	// Resuming past the stop drains the rest (a drained RunUntil leaves
+	// the clock at the last event, as always).
+	s.SetStop(nil)
+	if !s.RunUntil(100) {
+		t.Fatal("resumed RunUntil did not drain")
+	}
+	if s.Now() != 10 {
+		t.Fatalf("RunUntil left clock at %d, want 10", s.Now())
+	}
+}
+
+// TestStopConditionNeverFiringIsInert pins that an installed-but-false
+// stop condition changes nothing observable about a run.
+func TestStopConditionNeverFiringIsInert(t *testing.T) {
+	run := func(install bool) (Cycle, uint64) {
+		s := New()
+		for i := 0; i < 200; i++ {
+			d := Cycle(i % 17)
+			s.Schedule(d, func() {})
+		}
+		// A couple of past-horizon spills so the overflow path is
+		// exercised under the stop poll too.
+		s.At(WheelSpan+13, func() {})
+		s.At(2*WheelSpan+1, func() {})
+		if install {
+			s.SetStop(func() bool { return false })
+		}
+		return s.Run(), s.Fired()
+	}
+	plainEnd, plainFired := run(false)
+	stopEnd, stopFired := run(true)
+	if plainEnd != stopEnd || plainFired != stopFired {
+		t.Fatalf("inert stop condition changed the run: (%d,%d) vs (%d,%d)",
+			plainEnd, plainFired, stopEnd, stopFired)
+	}
+}
