@@ -290,6 +290,33 @@ func BenchmarkRunMatrixWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkRunMatrixTiles sweeps the new topology axis: the same pooled
+// matrix on a monolithic system and on 2- and 4-tile crossbar systems.
+// The tiles=1 case must track BenchmarkRunMatrixParallel (the lowering
+// is zero-cost); the multi-tile counts expose the NoC's per-hop event
+// overhead and the sliced-L2 hit-rate shift on identical work.
+func BenchmarkRunMatrixTiles(b *testing.B) {
+	specs := matrixBenchSpecs(b)
+	for _, tiles := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("tiles=%d", tiles), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Topology.Tiles = tiles
+			pool := core.NewSystemPool(cfg)
+			var tot stats.Snapshot
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunMatrixWith(cfg, core.StaticVariants(), specs, benchScale,
+					core.RunMatrixOpts{Pool: pool, TotalsOut: &tot}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(tot.Cycles), "sim_cycles")
+		})
+	}
+}
+
 // BenchmarkRunMatrixParallelColdStart is the no-shared-pool reference:
 // every iteration uses a transient pool scoped to the call, so each
 // variant's first cell pays full system construction. The allocs/op gap

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/noc"
 	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -46,6 +47,9 @@ func run(args []string) error {
 		scale    = fs.Float64("scale", 1.0, "workload size multiplier")
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
 		cus      = fs.Int("cus", 0, "override compute-unit count (default: Table 1's 64)")
+		tiles    = fs.Int("tiles", 0, "split the system into N GPU tiles over a NoC (power of two; 0/1 = monolithic)")
+		topology = fs.String("topology", "", "interconnect between tiles (direct, crossbar, mesh; default crossbar)")
+		mesh     = fs.Bool("mesh", false, "shorthand for -topology mesh")
 		record   = fs.String("record", "", "with -workload: write the memory trace to FILE")
 		replay   = fs.String("replay", "", "replay a recorded trace under -policy (trace-driven mode)")
 		window   = fs.Int("window", 64, "outstanding-request window for -replay (0 = timed replay)")
@@ -66,6 +70,19 @@ func run(args []string) error {
 	cfg := core.DefaultConfig()
 	if *cus > 0 {
 		cfg.GPU.CUs = *cus
+	}
+	if *tiles > 0 {
+		cfg.Topology.Tiles = *tiles
+	}
+	if *mesh {
+		cfg.Topology.Kind = noc.Mesh
+	}
+	if *topology != "" {
+		k, err := noc.ParseKind(*topology)
+		if err != nil {
+			return err
+		}
+		cfg.Topology.Kind = k
 	}
 	sc := workloads.Scale(*scale)
 	out := os.Stdout
@@ -184,6 +201,10 @@ func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPa
 	fmt.Printf("  bypasses           L1 %d, L2 %d (predictor %d, alloc %d)\n",
 		s.L1.Bypasses, s.L2.Bypasses, s.L2.PredBypass, s.L1.AllocBypass+s.L2.AllocBypass)
 	fmt.Printf("  kernels            %d\n", s.Kernels)
+	if len(s.Tiles) > 0 {
+		fmt.Println()
+		report.RenderTopology(os.Stdout, s)
+	}
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/noc"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -91,12 +92,20 @@ type runRequest struct {
 	Workload string  `json:"workload"`
 	Variant  string  `json:"variant"`
 	Scale    float64 `json:"scale"`
+	// Tiles and Topology select a multi-tile NoC system (see
+	// core.Config.Topology). Off-default topologies run on a fresh
+	// system rather than the shared warm pool, so they pay construction
+	// per request; the default (0 / "") keeps the pooled fast path.
+	Tiles    int    `json:"tiles,omitempty"`
+	Topology string `json:"topology,omitempty"`
 }
 
 type runResponse struct {
 	Workload  string         `json:"workload"`
 	Variant   string         `json:"variant"`
 	Scale     float64        `json:"scale"`
+	Tiles     int            `json:"tiles,omitempty"`
+	Topology  string         `json:"topology,omitempty"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 	GVOPS     float64        `json:"gvops"`
 	GMRs      float64        `json:"gmrs"`
@@ -160,6 +169,28 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("scale must be in (0, %g], got %g", s.maxScale, req.Scale)})
 		return
 	}
+	// An off-default topology reshapes the whole hierarchy, so it cannot
+	// reuse pooled systems; validate the derived config now (client
+	// error) and build fresh after admission.
+	cfg := s.cfg
+	topoCustom := req.Tiles > 0 || req.Topology != ""
+	if topoCustom {
+		if req.Tiles > 0 {
+			cfg.Topology.Tiles = req.Tiles
+		}
+		if req.Topology != "" {
+			k, err := noc.ParseKind(req.Topology)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+				return
+			}
+			cfg.Topology.Kind = k
+		}
+		if err := cfg.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, errResponse{Error: err.Error()})
+			return
+		}
+	}
 
 	// Admission: take a worker slot if one is free; otherwise wait in
 	// the bounded queue. Anything beyond queue capacity is refused NOW
@@ -188,7 +219,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
-	sys, err := s.pool.Get(v)
+	var sys *core.System
+	if topoCustom {
+		sys, err = core.NewSystem(cfg, v)
+	} else {
+		sys, err = s.pool.Get(v)
+	}
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
 		return
@@ -216,8 +252,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.log.Error("run panicked", "workload", req.Workload, "variant", req.Variant, "err", runErr)
 		writeJSON(w, http.StatusInternalServerError, errResponse{Error: runErr.Error()})
 	case runErr == nil:
-		s.pool.Put(sys)
-		writeJSON(w, http.StatusOK, runResponse{
+		if !topoCustom {
+			s.pool.Put(sys)
+		}
+		resp := runResponse{
 			Workload:  req.Workload,
 			Variant:   req.Variant,
 			Scale:     req.Scale,
@@ -225,7 +263,13 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			GVOPS:     snap.GVOPS(s.cfg.GPUClockMHz),
 			GMRs:      snap.GMRs(s.cfg.GPUClockMHz),
 			Snapshot:  snap,
-		})
+		}
+		if topoCustom {
+			t := cfg.Topology.WithDefaults()
+			resp.Tiles = t.Tiles
+			resp.Topology = t.Kind.String()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	default:
 		var be *core.ErrBudgetExceeded
 		var dl *core.ErrDeadlock
@@ -233,7 +277,11 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		case errors.As(runErr, &be):
 			// Interrupted, not broken: Put resets the system, and the
 			// chaos tests pin that reset-after-interrupt ≡ fresh.
-			s.pool.Put(sys)
+			// Off-default topologies were never pooled; let the GC
+			// take them.
+			if !topoCustom {
+				s.pool.Put(sys)
+			}
 			s.log.Warn("run over budget", "workload", req.Workload, "variant", req.Variant,
 				"reason", be.Reason, "fired", be.Fired, "elapsed", elapsed)
 			writeJSON(w, http.StatusGatewayTimeout, errResponse{

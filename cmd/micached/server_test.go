@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/noc"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -77,7 +79,7 @@ func TestRunEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rr.Snapshot != r.Snap {
+	if !rr.Snapshot.Equal(r.Snap) {
 		t.Fatalf("served snapshot differs from direct run:\nserved: %+v\ndirect: %+v", rr.Snapshot, r.Snap)
 	}
 	if rr.Snapshot.Cycles == 0 || rr.Snapshot.GPUMemRequests == 0 {
@@ -128,6 +130,92 @@ func TestRequestValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /run status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestRunEndpointTopology runs a 2-tile request end-to-end and checks
+// the snapshot matches a direct multi-tile run, reports per-tile and
+// per-link sections, and never touches the shared single-tile pool.
+func TestRunEndpointTopology(t *testing.T) {
+	srv := testServer(serverOpts{Queue: 4})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, body := postRun(t, ts,
+		`{"workload":"FwSoft","variant":"CacheRW","scale":0.05,"tiles":2,"topology":"mesh"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", resp.StatusCode, body)
+	}
+	var rr runResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if rr.Tiles != 2 || rr.Topology != "mesh" {
+		t.Fatalf("response echoes tiles=%d topology=%q, want 2/mesh", rr.Tiles, rr.Topology)
+	}
+	if len(rr.Snapshot.Tiles) != 2 || len(rr.Snapshot.Links) == 0 {
+		t.Fatalf("snapshot missing topology sections: %+v", rr.Snapshot)
+	}
+
+	cfg := testServerConfig()
+	cfg.Topology.Tiles = 2
+	cfg.Topology.Kind = noc.Mesh
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.VariantByLabel("CacheRW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.RunOne(cfg, v, spec, workloads.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Snapshot.Equal(r.Snap) {
+		t.Fatalf("served 2-tile snapshot differs from direct run:\nserved: %+v\ndirect: %+v",
+			rr.Snapshot, r.Snap)
+	}
+
+	// Off-default topologies must not consume or seed the warm pool.
+	if built, reused := srv.pool.Counts(); built != 0 || reused != 0 {
+		t.Fatalf("topology request touched the pool: built=%d reused=%d", built, reused)
+	}
+}
+
+// TestTopologyRequestValidation pins the 400 contract for topology
+// parameters: unknown names answer with the valid list, and structurally
+// impossible tilings are refused before any system is built.
+func TestTopologyRequestValidation(t *testing.T) {
+	srv := testServer(serverOpts{Queue: 4})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, body := postRun(t, ts,
+		`{"workload":"FwSoft","variant":"CacheRW","scale":0.05,"topology":"torus"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown topology status = %d, want 400 (body %s)", resp.StatusCode, body)
+	}
+	var er errResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("bad error JSON: %v\n%s", err, body)
+	}
+	for _, name := range noc.Kinds() {
+		if !strings.Contains(er.Error, name) {
+			t.Fatalf("400 body %q does not list valid topology %q", er.Error, name)
+		}
+	}
+
+	// tiles=3 (not a power of two) and tiles=16 (does not divide the
+	// test config's 8 CUs) are config errors, also 400.
+	for _, bad := range []string{
+		`{"workload":"FwSoft","variant":"CacheRW","scale":0.05,"tiles":3}`,
+		`{"workload":"FwSoft","variant":"CacheRW","scale":0.05,"tiles":16}`,
+	} {
+		resp, body := postRun(t, ts, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400 (body %s)", bad, resp.StatusCode, body)
+		}
 	}
 }
 

@@ -115,10 +115,13 @@ func (d *Directory) Reset() {
 type Engine struct {
 	// PolicyKind is the active static policy.
 	PolicyKind Policy
-	// L1s are the per-CU L1 caches.
+	// L1s are the per-CU L1 caches, across every tile.
 	L1s []*cache.Cache
-	// L2 is the shared banked L2.
-	L2 *cache.Banked
+	// L2s are the banked L2 slices, one per GPU tile (a single-tile
+	// system has exactly one). Coherence actions apply to all of them:
+	// kernel-boundary self-invalidation touches every slice, and a
+	// system-scope flush completes only when every slice has drained.
+	L2s []*cache.Banked
 	// Sim is the event engine.
 	Sim *event.Sim
 	// SyncLatency is the fixed cost of a kernel-boundary coherence
@@ -168,12 +171,29 @@ func (e *Engine) boundary(systemScope bool, resume func()) {
 		for _, l1 := range e.L1s {
 			l1.InvalidateClean()
 		}
-		e.L2.InvalidateClean()
+		for _, l2 := range e.L2s {
+			l2.InvalidateClean()
+		}
 	}
 	after := func() { e.Sim.Schedule(e.SyncLatency, resume) }
 	if systemScope && e.PolicyKind.CombinesStores() {
 		e.Flushes++
-		e.L2.FlushDirty(after)
+		if len(e.L2s) == 1 {
+			// The single-slice fast path keeps the pre-topology event
+			// schedule byte-identical: no barrier closure between the
+			// flush walker and the resume.
+			e.L2s[0].FlushDirty(after)
+			return
+		}
+		remaining := len(e.L2s)
+		for _, l2 := range e.L2s {
+			l2.FlushDirty(func() {
+				remaining--
+				if remaining == 0 {
+					after()
+				}
+			})
+		}
 		return
 	}
 	after()

@@ -50,7 +50,7 @@ func stack(p Policy) (*Engine, *cache.Cache, *cache.Banked, *fakeMem, *event.Sim
 		HitLatency: 10, LookupLatency: 2, FillLatency: 2,
 		MSHRs: 8, BypassEntries: 64, PortsPerCycle: 2,
 	}, sim, l2)
-	eng := &Engine{PolicyKind: p, L1s: []*cache.Cache{l1}, L2: l2, Sim: sim, SyncLatency: 20}
+	eng := &Engine{PolicyKind: p, L1s: []*cache.Cache{l1}, L2s: []*cache.Banked{l2}, Sim: sim, SyncLatency: 20}
 	return eng, l1, l2, memPort, sim
 }
 

@@ -57,7 +57,7 @@ func TestTotalsOutMatchesTotals(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := Totals(rs); tot != want {
+		if want := Totals(rs); !tot.Equal(want) {
 			t.Fatalf("Workers=%d: TotalsOut %+v != Totals %+v", workers, tot, want)
 		}
 	}

@@ -90,7 +90,7 @@ func TestBudgetsNotHitAreInert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("budgeted run differs from plain run:\nplain:    %+v\nbudgeted: %+v", want, got)
 	}
 }
@@ -167,7 +167,7 @@ func TestCancelMidRunThenReuse(t *testing.T) {
 	// Reset-after-cancel: the rerun must be byte-identical to fresh.
 	sys.Reset()
 	got := mustRun(t, sys, spec.Build(testScale))
-	if got != want {
+	if !got.Equal(want) {
 		t.Fatalf("rerun after canceled run differs from fresh:\nfresh: %+v\nrerun: %+v", want, got)
 	}
 }
@@ -365,7 +365,7 @@ func TestBudgetStoppedSystemsAreRepooled(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range ref {
-		if got[i] != ref[i] {
+		if !got[i].Equal(ref[i]) {
 			t.Fatalf("cell %d (%s) from a budget-recycled pool differs from cold reference", i, ref[i].Workload)
 		}
 	}

@@ -50,7 +50,7 @@ func TestCancelAnywhereResetEquivalence(t *testing.T) {
 					// The poll granularity (one bucket drain) let the
 					// run finish before noticing a cut near the end;
 					// the result must then be the reference exactly.
-					if snap != ref {
+					if !snap.Equal(ref) {
 						t.Fatalf("cut=%d: uninterrupted completion differs from reference", cut)
 					}
 				} else {
@@ -67,7 +67,7 @@ func TestCancelAnywhereResetEquivalence(t *testing.T) {
 				// ANY point restores byte-identical behavior.
 				sys.Reset()
 				got := mustRun(t, sys, w)
-				if got != ref {
+				if !got.Equal(ref) {
 					t.Fatalf("cut=%d: rerun after interrupted run differs from fresh:\nfresh: %+v\nrerun: %+v",
 						cut, ref, got)
 				}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/event"
 	"repro/internal/gpu"
+	"repro/internal/noc"
 	"repro/internal/policy"
 	"repro/internal/workloads"
 )
@@ -64,6 +65,14 @@ type Config struct {
 	PredictorSampleEvery int
 	// RinserRows bounds the dirty-block index capacity.
 	RinserRows int
+	// Topology splits the system into GPU tiles over an internal/noc
+	// interconnect: each tile owns its share of the CUs (and their
+	// L1s), one slice of the L2, and one local HBM stack; the shared
+	// directory sits on the hub node, and cache lines are homed to
+	// tiles by address interleave. The zero value (and Tiles ≤ 1)
+	// lowers to the pre-topology direct wiring — no links, no extra
+	// objects, byte-identical timing.
+	Topology noc.Config
 }
 
 // DefaultConfig returns the Table 1 system: 64 CUs at 1.6 GHz, 16 KB
@@ -100,6 +109,7 @@ func DefaultConfig() Config {
 		Predictor:            policy.DefaultPredictorConfig(),
 		PredictorSampleEvery: 32,
 		RinserRows:           4096,
+		Topology:             noc.DefaultConfig(),
 	}
 }
 
@@ -117,8 +127,15 @@ func (c *Config) Validate() error {
 	if c.L1.Sets(1) <= 0 {
 		return fmt.Errorf("core: L1 geometry yields no sets")
 	}
-	if c.L2.Sets(c.L2Banks) <= 0 {
-		return fmt.Errorf("core: L2 geometry yields no sets per bank")
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	tiles := c.Topology.WithDefaults().Tiles
+	if c.GPU.CUs%tiles != 0 {
+		return fmt.Errorf("core: CUs (%d) must divide evenly across %d tiles", c.GPU.CUs, tiles)
+	}
+	if c.L2.Sets(c.L2Banks*tiles) <= 0 {
+		return fmt.Errorf("core: L2 geometry yields no sets per bank across %d tiles", tiles)
 	}
 	return c.DRAM.Validate()
 }
@@ -198,8 +215,12 @@ func buildL1(cfg *Config, v Variant, id int, sim *event.Sim, lower cache.Port) *
 	}, sim, lower)
 }
 
-// buildL2 constructs the banked L2 for the given variant.
-func buildL2(cfg *Config, v Variant, sim *event.Sim, lower cache.Port,
+// buildL2 constructs one tile's banked L2 slice for the given variant.
+// The configured L2 capacity is divided across the tiles (a single-tile
+// system gets all of it, exactly the pre-topology geometry); the name
+// stays the bare "L2" in that case so single-tile diagnostics are
+// unchanged.
+func buildL2(cfg *Config, v Variant, tile, tiles int, sim *event.Sim, lower cache.Port,
 	pred cache.Predictor, rinse cache.Rinser) *cache.Banked {
 	var p cache.Predictor
 	if v.Opts.PCBypass {
@@ -209,9 +230,13 @@ func buildL2(cfg *Config, v Variant, sim *event.Sim, lower cache.Port,
 	if v.Opts.CacheRinse {
 		r = rinse
 	}
+	name := "L2"
+	if tiles > 1 {
+		name = fmt.Sprintf("L2.%d", tile)
+	}
 	return cache.NewBanked(cache.Config{
-		Name: "L2",
-		Sets: cfg.L2.Sets(cfg.L2Banks), Ways: cfg.L2.Ways,
+		Name: name,
+		Sets: cfg.L2.Sets(cfg.L2Banks * tiles), Ways: cfg.L2.Ways,
 		HitLatency:           cfg.L2.HitLatency,
 		LookupLatency:        cfg.L2.LookupLatency,
 		FillLatency:          cfg.L2.FillLatency,

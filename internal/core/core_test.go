@@ -117,7 +117,7 @@ func TestRunDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1.Snap != r2.Snap {
+	if !r1.Snap.Equal(r2.Snap) {
 		t.Fatalf("nondeterministic runs:\n%+v\n%+v", r1.Snap, r2.Snap)
 	}
 }

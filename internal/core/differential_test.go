@@ -53,7 +53,7 @@ func TestRunMatrixRandomizedDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", label("sequential"), err)
 		}
-		if want := Totals(ref); refTotals != want {
+		if want := Totals(ref); !refTotals.Equal(want) {
 			t.Fatalf("%s: sequential TotalsOut %+v != Totals %+v", label("sequential"), refTotals, want)
 		}
 
@@ -68,7 +68,7 @@ func TestRunMatrixRandomizedDifferential(t *testing.T) {
 			t.Fatalf("%s (workers=%d, scale=%g): parallel results differ from sequential",
 				label("parallel"), workers, scale)
 		}
-		if parTotals != refTotals {
+		if !parTotals.Equal(refTotals) {
 			t.Fatalf("%s: per-worker aggregated totals %+v != sequential %+v",
 				label("parallel"), parTotals, refTotals)
 		}

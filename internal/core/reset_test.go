@@ -31,13 +31,13 @@ func TestResetEquivalentToFresh(t *testing.T) {
 			fresh := mustRun(t, sys, spec.Build(testScale))
 			sys.Reset()
 			again := mustRun(t, sys, spec.Build(testScale))
-			if again != fresh {
+			if !again.Equal(fresh) {
 				t.Fatalf("reset run differs from fresh run:\nfresh: %+v\nreset: %+v", fresh, again)
 			}
 			// A second reset cycle must also hold (no slow state drift).
 			sys.Reset()
 			third := mustRun(t, sys, spec.Build(testScale))
-			if third != fresh {
+			if !third.Equal(fresh) {
 				t.Fatalf("second reset run differs from fresh run:\nfresh: %+v\nreset: %+v", fresh, third)
 			}
 			// The per-CU front-end shard state (stats slabs, occupancy,
@@ -83,7 +83,7 @@ func TestResetNoCrossWorkloadLeakage(t *testing.T) {
 		mustRun(t, reused, a.Build(testScale))
 		reused.Reset()
 		gotB := mustRun(t, reused, b.Build(testScale))
-		if gotB != wantB {
+		if !gotB.Equal(wantB) {
 			t.Fatalf("%s: B after A+Reset differs from B on a fresh system:\nfresh: %+v\nreused: %+v",
 				v, wantB, gotB)
 		}
@@ -109,7 +109,7 @@ func TestSystemPoolReuse(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range reference {
-			if got[i] != reference[i] {
+			if !got[i].Equal(reference[i]) {
 				t.Fatalf("round %d cell %d (%s/%s) differs from unpooled reference",
 					round, i, got[i].Workload, got[i].Variant)
 			}

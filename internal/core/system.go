@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,20 +15,47 @@ import (
 	"repro/internal/dram"
 	"repro/internal/event"
 	"repro/internal/gpu"
+	"repro/internal/mem"
+	"repro/internal/noc"
 	"repro/internal/policy"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
+// Tile is one GPU tile's private memory hierarchy: the L1s of the CUs
+// it owns, its slice of the L2, its local HBM stack, and its policy
+// state (the predictor and rinser are per tile, like the L2 slice they
+// advise). A single-tile system has exactly one Tile holding the whole
+// hierarchy.
+type Tile struct {
+	L1s       []*cache.Cache
+	L2        *cache.Banked
+	DRAM      *dram.Controller
+	Predictor *policy.PCPredictor
+	Rinser    *policy.RowRinser
+}
+
 // System is one fully wired simulated APU instance. Build one per run:
 // caches and predictors carry state between workloads, and experiments
 // must start cold to be comparable.
+//
+// Cfg.Topology splits the machine into tiles over an internal/noc
+// interconnect. The flat fields (L1s, L2, DRAM, Predictor, Rinser)
+// remain the convenient single-tile view — all L1s in CU order, and
+// tile 0's L2/DRAM/policy state, which for a single-tile system is the
+// whole machine.
 type System struct {
 	Cfg     Config
 	Variant Variant
 
-	Sim       *event.Sim
-	GPU       *gpu.GPU
+	Sim   *event.Sim
+	GPU   *gpu.GPU
+	Tiles []Tile
+	// Net is the interconnect carrying L2→directory and
+	// directory→memory traffic; nil for a single-tile system, whose
+	// hand-offs are direct port calls exactly as before topologies
+	// existed.
+	Net       *noc.Network
 	L1s       []*cache.Cache
 	L2        *cache.Banked
 	DRAM      *dram.Controller
@@ -35,6 +63,92 @@ type System struct {
 	Engine    *coherence.Engine
 	Predictor *policy.PCPredictor
 	Rinser    *policy.RowRinser
+}
+
+// hierarchy is the memory-side wiring shared by NewSystem and
+// NewMemorySystem: tiles, the directory, and (for multi-tile
+// topologies) the interconnect.
+type hierarchy struct {
+	tiles []Tile
+	l1s   []*cache.Cache
+	dir   *coherence.Directory
+	net   *noc.Network
+}
+
+// buildHierarchy wires the memory side for a validated config. The
+// single-tile path reproduces the pre-topology construction order
+// byte for byte and builds no network objects at all.
+func buildHierarchy(cfg *Config, v Variant, sim *event.Sim) *hierarchy {
+	topo := cfg.Topology.WithDefaults()
+	tiles := topo.Tiles
+	h := &hierarchy{tiles: make([]Tile, tiles)}
+
+	if tiles == 1 {
+		dctl := dram.New(cfg.DRAM, sim)
+		dir := coherence.NewDirectory(sim, dctl, cfg.DirectoryLatency)
+		pred := policy.NewPCPredictor(cfg.Predictor)
+		dcfg := cfg.DRAM
+		rinse := policy.NewRowRinser(dcfg.RowID, cfg.RinserRows)
+		l2 := buildL2(cfg, v, 0, 1, sim, dir, pred, rinse)
+		l1s := make([]*cache.Cache, cfg.GPU.CUs)
+		for i := range l1s {
+			l1s[i] = buildL1(cfg, v, i, sim, l2)
+		}
+		h.tiles[0] = Tile{L1s: l1s, L2: l2, DRAM: dctl, Predictor: pred, Rinser: rinse}
+		h.l1s = l1s
+		h.dir = dir
+		return h
+	}
+
+	nodes, edges := noc.Graph(topo.Kind, tiles)
+	net, err := noc.NewNetwork(nodes, edges, topo.Link, sim)
+	if err != nil {
+		// Validate accepted the config and Graph only emits connected
+		// shapes, so failing here is an internal wiring error.
+		panic(fmt.Sprintf("core: building %s network for %d tiles: %v", topo.Kind, tiles, err))
+	}
+	h.net = net
+	hub := noc.Hub(tiles)
+
+	// Per-tile HBM stacks, reached from the hub across the NoC. The
+	// home router below the directory picks a stack by address
+	// interleave: HomeLines consecutive cache lines per tile.
+	memPorts := make([]cache.Port, tiles)
+	for t := 0; t < tiles; t++ {
+		dctl := dram.New(cfg.DRAM, sim)
+		h.tiles[t].DRAM = dctl
+		memPorts[t] = net.Connect(hub, t, dctl)
+	}
+	homeShift := bits.TrailingZeros64(uint64(topo.HomeLines))
+	homeMask := uint64(tiles - 1)
+	home := cache.PortFunc(func(req *mem.Request) {
+		t := int((mem.LineIndex(req.Line) >> homeShift) & homeMask)
+		memPorts[t].Submit(req)
+	})
+	h.dir = coherence.NewDirectory(sim, home, cfg.DirectoryLatency)
+
+	cpt := cfg.GPU.CUs / tiles
+	h.l1s = make([]*cache.Cache, cfg.GPU.CUs)
+	for t := 0; t < tiles; t++ {
+		pred := policy.NewPCPredictor(cfg.Predictor)
+		dcfg := cfg.DRAM
+		rinse := policy.NewRowRinser(dcfg.RowID, cfg.RinserRows)
+		l2 := buildL2(cfg, v, t, tiles, sim, net.Connect(t, hub, h.dir), pred, rinse)
+		l1s := make([]*cache.Cache, cpt)
+		for i := range l1s {
+			cu := t*cpt + i
+			// L1→L2 stays on tile: a same-node Connect lowers to the
+			// direct port, keeping the intra-tile hand-off zero-cost
+			// while still going through the one link interface.
+			l1s[i] = buildL1(cfg, v, cu, sim, net.Connect(t, t, l2))
+			h.l1s[cu] = l1s[i]
+		}
+		h.tiles[t].L1s = l1s
+		h.tiles[t].L2 = l2
+		h.tiles[t].Predictor = pred
+		h.tiles[t].Rinser = rinse
+	}
+	return h
 }
 
 // NewSystem wires a system for one configuration variant. Invalid
@@ -45,27 +159,21 @@ func NewSystem(cfg Config, v Variant) (*System, error) {
 		return nil, err
 	}
 	sim := event.New()
-	dctl := dram.New(cfg.DRAM, sim)
-	dir := coherence.NewDirectory(sim, dctl, cfg.DirectoryLatency)
+	h := buildHierarchy(&cfg, v, sim)
 
-	pred := policy.NewPCPredictor(cfg.Predictor)
-	dcfg := cfg.DRAM
-	rinse := policy.NewRowRinser(dcfg.RowID, cfg.RinserRows)
-
-	l2 := buildL2(&cfg, v, sim, dir, pred, rinse)
-
-	l1s := make([]*cache.Cache, cfg.GPU.CUs)
-	ports := make([]cache.Port, cfg.GPU.CUs)
-	for i := range l1s {
-		l1s[i] = buildL1(&cfg, v, i, sim, l2)
-		ports[i] = l1s[i]
+	ports := make([]cache.Port, len(h.l1s))
+	for i, l1 := range h.l1s {
+		ports[i] = l1
 	}
-
 	g := gpu.New(cfg.GPU, sim, ports)
+	l2s := make([]*cache.Banked, len(h.tiles))
+	for i := range h.tiles {
+		l2s[i] = h.tiles[i].L2
+	}
 	eng := &coherence.Engine{
 		PolicyKind:  v.Policy,
-		L1s:         l1s,
-		L2:          l2,
+		L1s:         h.l1s,
+		L2s:         l2s,
 		Sim:         sim,
 		SyncLatency: cfg.SyncLatency,
 	}
@@ -74,9 +182,11 @@ func NewSystem(cfg Config, v Variant) (*System, error) {
 
 	return &System{
 		Cfg: cfg, Variant: v,
-		Sim: sim, GPU: g, L1s: l1s, L2: l2,
-		DRAM: dctl, Directory: dir, Engine: eng,
-		Predictor: pred, Rinser: rinse,
+		Sim: sim, GPU: g,
+		Tiles: h.tiles, Net: h.net,
+		L1s: h.l1s, L2: h.tiles[0].L2,
+		DRAM: h.tiles[0].DRAM, Directory: h.dir, Engine: eng,
+		Predictor: h.tiles[0].Predictor, Rinser: h.tiles[0].Rinser,
 	}, nil
 }
 
@@ -95,15 +205,21 @@ func NewSystem(cfg Config, v Variant) (*System, error) {
 func (s *System) Reset() {
 	s.Sim.Reset()
 	s.GPU.Reset()
-	for _, l1 := range s.L1s {
-		l1.Reset()
+	for ti := range s.Tiles {
+		t := &s.Tiles[ti]
+		for _, l1 := range t.L1s {
+			l1.Reset()
+		}
+		t.L2.Reset()
+		t.DRAM.Reset()
+		t.Predictor.Reset()
+		t.Rinser.Reset()
 	}
-	s.L2.Reset()
-	s.DRAM.Reset()
 	s.Directory.Reset()
 	s.Engine.Reset()
-	s.Predictor.Reset()
-	s.Rinser.Reset()
+	if s.Net != nil {
+		s.Net.Reset()
+	}
 }
 
 // Run executes a built workload to completion (including the final
@@ -117,20 +233,43 @@ func (s *System) Run(w workloads.Workload) (stats.Snapshot, error) {
 
 // Snapshot assembles the statistics of the run so far. The GPU's
 // per-shard counter slabs are summed here, once, rather than on the
-// issue path.
+// issue path. Multi-tile systems additionally report per-tile and
+// per-link counters (Snapshot.Tiles / Snapshot.Links); single-tile
+// snapshots leave both nil, preserving the pre-topology layout.
 func (s *System) Snapshot(w workloads.Workload) stats.Snapshot {
 	gs := s.GPU.Stats()
 	snap := stats.Snapshot{
 		Cycles:         uint64(s.Sim.Now()),
 		VectorOps:      gs.VectorOps,
 		GPUMemRequests: gs.MemRequests,
-		DRAM:           s.DRAM.Stats,
 		Kernels:        gs.KernelsRun,
 		FootprintBytes: w.FootprintBytes,
 	}
 	snap.L1 = sumCacheStats(s.L1s)
-	snap.L2 = s.L2.Stats()
+	for i := range s.Tiles {
+		snap.L2.Add(s.Tiles[i].L2.Stats())
+		snap.DRAM.Add(s.Tiles[i].DRAM.Stats)
+	}
+	addTopology(&snap, s.Tiles, s.Net)
 	return snap
+}
+
+// addTopology fills a snapshot's per-tile and per-link sections for a
+// multi-tile system; a single-tile system (net == nil) contributes
+// nothing, keeping those slices nil.
+func addTopology(snap *stats.Snapshot, tiles []Tile, net *noc.Network) {
+	if net == nil {
+		return
+	}
+	snap.Tiles = make([]stats.TileStats, len(tiles))
+	for i := range tiles {
+		snap.Tiles[i] = stats.TileStats{
+			L1:   sumCacheStats(tiles[i].L1s),
+			L2:   tiles[i].L2.Stats(),
+			DRAM: tiles[i].DRAM.Stats,
+		}
+	}
+	snap.Links = net.LinkStats(nil)
 }
 
 // sumCacheStats merges the per-instance counters of one cache level.
@@ -162,6 +301,14 @@ type Result struct {
 	Class    workloads.Class
 	Variant  string
 	Snap     stats.Snapshot
+}
+
+// Equal reports whether two results are identical, snapshot included.
+// Result lost comparability when Snapshot gained per-tile slices; the
+// determinism tests compare through this instead of ==.
+func (r Result) Equal(o Result) bool {
+	return r.Workload == o.Workload && r.Class == o.Class &&
+		r.Variant == o.Variant && r.Snap.Equal(o.Snap)
 }
 
 // RunOne builds a fresh system and runs one workload under one variant.

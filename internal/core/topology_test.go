@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/workloads"
+)
+
+// TestTopologySingleTileDifferential pins the zero-cost lowering: a
+// Topology with Tiles:1 — whatever kind or link parameters it carries —
+// must produce snapshots byte-identical to the default (pre-topology)
+// configuration for every variant. A single tile builds no links and no
+// paths, so link latency and bandwidth must be entirely invisible.
+func TestTopologySingleTileDifferential(t *testing.T) {
+	spec, err := workloads.ByName("FwPool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range AllVariants() {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			ref, err := RunOne(testConfig(), v, spec, testScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := testConfig()
+			cfg.Topology = noc.Config{
+				Tiles: 1, Kind: noc.Mesh,
+				Link:      noc.LinkConfig{Latency: 999, Bandwidth: 1, Queue: 1},
+				HomeLines: 8,
+			}
+			got, err := RunOne(cfg, v, spec, testScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Snap.Equal(ref.Snap) {
+				t.Fatalf("single-tile topology perturbed the run:\ndirect: %+v\nnoc:    %+v",
+					ref.Snap, got.Snap)
+			}
+			if got.Snap.Tiles != nil || got.Snap.Links != nil {
+				t.Fatalf("single-tile snapshot grew topology sections: %+v", got.Snap)
+			}
+		})
+	}
+}
+
+func tiledConfig(tiles int, kind noc.Kind) Config {
+	cfg := testConfig()
+	cfg.Topology.Tiles = tiles
+	cfg.Topology.Kind = kind
+	return cfg
+}
+
+// TestTopologyMultiTileSmoke runs a workload on 2- and 4-tile systems
+// over both interconnect kinds and checks the topology surfaces: the
+// snapshot reports one TileStats per tile whose DRAM traffic sums to the
+// flat totals, and the links actually carried flits.
+func TestTopologyMultiTileSmoke(t *testing.T) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheRW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []noc.Kind{noc.Crossbar, noc.Mesh} {
+		for _, tiles := range []int{2, 4} {
+			kind, tiles := kind, tiles
+			t.Run(kind.String()+"/"+string(rune('0'+tiles)), func(t *testing.T) {
+				r, err := RunOne(tiledConfig(tiles, kind), v, spec, testScale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap := r.Snap
+				if len(snap.Tiles) != tiles {
+					t.Fatalf("snapshot has %d tiles, want %d", len(snap.Tiles), tiles)
+				}
+				if len(snap.Links) == 0 {
+					t.Fatal("multi-tile snapshot has no link stats")
+				}
+				var dram uint64
+				var l2Accesses uint64
+				for _, ts := range snap.Tiles {
+					dram += ts.DRAM.Accesses()
+					l2Accesses += ts.L2.Hits + ts.L2.Misses
+				}
+				if dram != snap.DRAM.Accesses() {
+					t.Fatalf("per-tile DRAM %d != total %d", dram, snap.DRAM.Accesses())
+				}
+				if l2Accesses != snap.L2.Hits+snap.L2.Misses {
+					t.Fatalf("per-tile L2 accesses %d != total %d", l2Accesses, snap.L2.Hits+snap.L2.Misses)
+				}
+				var forwarded uint64
+				for _, ls := range snap.Links {
+					forwarded += ls.Forwarded
+				}
+				if forwarded == 0 {
+					t.Fatal("no link carried traffic")
+				}
+				if snap.DRAM.Accesses() == 0 {
+					t.Fatal("no DRAM traffic across tiles")
+				}
+			})
+		}
+	}
+}
+
+// TestTopologyMultiTileDeterministic pins run-to-run determinism of the
+// NoC path: two fresh 4-tile systems must agree bit for bit.
+func TestTopologyMultiTileDeterministic(t *testing.T) {
+	spec, err := workloads.ByName("BwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := VariantByLabel("CacheR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tiledConfig(4, noc.Mesh)
+	a, err := RunOne(cfg, v, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOne(cfg, v, spec, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("multi-tile run nondeterministic:\n%+v\n%+v", a.Snap, b.Snap)
+	}
+}
+
+// TestTopologyResetEquivalentToFresh extends the pooling contract to
+// multi-tile systems: Reset must clear every tile's caches, DRAM,
+// predictor, and rinser plus the NoC's link slots and queues.
+func TestTopologyResetEquivalentToFresh(t *testing.T) {
+	spec, err := workloads.ByName("FwPool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"CacheRW", "CacheRW-PCby"} {
+		v, err := VariantByLabel(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []noc.Kind{noc.Crossbar, noc.Mesh} {
+			t.Run(label+"/"+kind.String(), func(t *testing.T) {
+				sys, err := NewSystem(tiledConfig(4, kind), v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sys.Net == nil || len(sys.Tiles) != 4 {
+					t.Fatalf("4-tile system built %d tiles, net=%v", len(sys.Tiles), sys.Net != nil)
+				}
+				fresh := mustRun(t, sys, spec.Build(testScale))
+				sys.Reset()
+				again := mustRun(t, sys, spec.Build(testScale))
+				if !again.Equal(fresh) {
+					t.Fatalf("reset multi-tile run differs from fresh:\nfresh: %+v\nreset: %+v",
+						fresh, again)
+				}
+			})
+		}
+	}
+}
+
+// TestTopologyValidation pins the named rejections reachable through
+// core.Config.
+func TestTopologyValidation(t *testing.T) {
+	v := StaticVariants()[0]
+	spec := smallSpecs(t, "FwSoft")[0]
+
+	cfg := testConfig()
+	cfg.Topology.Tiles = 3
+	if _, err := RunOne(cfg, v, spec, testScale); !errors.Is(err, noc.ErrTiles) {
+		t.Fatalf("tiles=3: got %v, want ErrTiles", err)
+	}
+
+	cfg = testConfig()
+	cfg.Topology.Tiles = 16 // testConfig has 8 CUs; 8 % 16 != 0
+	if _, err := RunOne(cfg, v, spec, testScale); err == nil ||
+		!strings.Contains(err.Error(), "tiles") {
+		t.Fatalf("CUs not divisible by tiles: got %v", err)
+	}
+
+	cfg = tiledConfig(2, noc.Crossbar)
+	cfg.Topology.Link = noc.LinkConfig{Latency: 8, Queue: 4} // Bandwidth 0
+	if _, err := RunOne(cfg, v, spec, testScale); !errors.Is(err, noc.ErrZeroBandwidth) {
+		t.Fatalf("zero bandwidth: got %v, want ErrZeroBandwidth", err)
+	}
+}

@@ -8,7 +8,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/event"
 	"repro/internal/mem"
-	"repro/internal/policy"
+	"repro/internal/noc"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -45,9 +45,12 @@ func RunRecorded(cfg Config, v Variant, spec workloads.Spec, scale workloads.Sca
 
 // MemorySystem is the memory hierarchy without the GPU front end, used
 // for trace-driven replay: per-CU L1s, banked L2, directory and DRAM,
-// configured for a policy variant exactly as NewSystem builds them.
+// configured for a policy variant exactly as NewSystem builds them —
+// including multi-tile topologies, which replay over the same NoC.
 type MemorySystem struct {
 	Sim       *event.Sim
+	Tiles     []Tile
+	Net       *noc.Network
 	L1s       []*cache.Cache
 	L2        *cache.Banked
 	DRAM      *dram.Controller
@@ -60,27 +63,24 @@ func NewMemorySystem(cfg Config, v Variant) (*MemorySystem, error) {
 		return nil, err
 	}
 	sim := event.New()
-	dctl := dram.New(cfg.DRAM, sim)
-	dir := coherence.NewDirectory(sim, dctl, cfg.DirectoryLatency)
-	pred := policy.NewPCPredictor(cfg.Predictor)
-	dcfg := cfg.DRAM
-	rinse := policy.NewRowRinser(dcfg.RowID, cfg.RinserRows)
-	l2 := buildL2(&cfg, v, sim, dir, pred, rinse)
-	l1s := make([]*cache.Cache, cfg.GPU.CUs)
-	for i := range l1s {
-		l1s[i] = buildL1(&cfg, v, i, sim, l2)
-	}
-	return &MemorySystem{Sim: sim, L1s: l1s, L2: l2, DRAM: dctl, Directory: dir}, nil
+	h := buildHierarchy(&cfg, v, sim)
+	return &MemorySystem{
+		Sim: sim, Tiles: h.tiles, Net: h.net, L1s: h.l1s,
+		L2: h.tiles[0].L2, DRAM: h.tiles[0].DRAM, Directory: h.dir,
+	}, nil
 }
 
 // Snapshot collects the memory-side statistics.
 func (ms *MemorySystem) Snapshot() stats.Snapshot {
 	snap := stats.Snapshot{
 		Cycles: uint64(ms.Sim.Now()),
-		DRAM:   ms.DRAM.Stats,
 	}
 	snap.L1 = sumCacheStats(ms.L1s)
-	snap.L2 = ms.L2.Stats()
+	for i := range ms.Tiles {
+		snap.L2.Add(ms.Tiles[i].L2.Stats())
+		snap.DRAM.Add(ms.Tiles[i].DRAM.Stats)
+	}
+	addTopology(&snap, ms.Tiles, ms.Net)
 	return snap
 }
 
@@ -94,9 +94,13 @@ func ReplayTrace(cfg Config, v Variant, tr *trace.Trace, mode trace.ReplayMode, 
 	if err != nil {
 		return stats.Snapshot{}, err
 	}
+	l2s := make([]*cache.Banked, len(ms.Tiles))
+	for i := range ms.Tiles {
+		l2s[i] = ms.Tiles[i].L2
+	}
 	eng := &coherence.Engine{
 		PolicyKind: v.Policy,
-		L1s:        ms.L1s, L2: ms.L2,
+		L1s:        ms.L1s, L2s: l2s,
 		Sim: ms.Sim, SyncLatency: cfg.SyncLatency,
 	}
 	router := cache.PortFunc(func(req *mem.Request) {

@@ -25,7 +25,7 @@ func TestRunRecordedCapturesEveryRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plain.Snap != r.Snap {
+	if !plain.Snap.Equal(r.Snap) {
 		t.Fatalf("recorder perturbed the run:\n%+v\n%+v", plain.Snap, r.Snap)
 	}
 }
@@ -114,7 +114,7 @@ func TestReplayDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !a.Equal(b) {
 		t.Fatalf("replay nondeterministic:\n%+v\n%+v", a, b)
 	}
 }

@@ -56,6 +56,39 @@ func BenchmarkScheduleFire(b *testing.B) {
 		s.Schedule(1, tick)
 		s.Run()
 	})
+	// noc-latency: the delay profile of a multi-tile NoC run — per-link
+	// latencies in the tens of cycles plus the occasional multi-hop
+	// return path that lands near or past the horizon. Guards the wheel
+	// horizon: if accumulated path latencies push the hot delays past
+	// WheelSpan, this sub-benchmark's allocs and ns/op degrade toward
+	// past-horizon and wheelBits should be raised (see "# Tuning" in
+	// event.go).
+	b.Run("noc-latency", func(b *testing.B) {
+		s := New()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				switch n & 7 {
+				case 0:
+					// A worst-case mesh round trip: several 24-cycle
+					// hops each way stacked on queueing, spilling just
+					// past the horizon.
+					s.Schedule(WheelSpan+Cycle(n&31), tick)
+				case 1, 2:
+					// Multi-hop forward paths: a few links deep.
+					s.Schedule(Cycle(3*24+n%24), tick)
+				default:
+					// Single-link hops at the default 24-cycle latency.
+					s.Schedule(Cycle(24+n%8), tick)
+				}
+			}
+		}
+		b.ReportAllocs()
+		s.Schedule(24, tick)
+		s.Run()
+	})
 	// mixed: a fan of pending events across near, boundary, and
 	// past-horizon delays — the realistic regime, and the shape that
 	// made the old heap pay O(log n) per event.

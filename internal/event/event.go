@@ -34,6 +34,18 @@
 // cycle of horizon) for fewer overflow spills. Spills are correct but pay
 // the old O(log n) heap cost, so a horizon that captures the hot paths is
 // all that matters — coarse one-off timers can spill freely.
+//
+// Multi-tile topologies stack internal/noc link latencies on top of the
+// cache and DRAM delays: a request crossing an H-hop path schedules one
+// event per hop (each well under WheelSpan at the default 24-cycle link
+// latency) plus one return event at the whole path's one-way latency.
+// With the built-in topologies (≤ 8×8 mesh, worst path ≈ 16 hops ≈ 384
+// cycles) every hot delay still fits the 512-cycle horizon. If you
+// raise link latency or build deeper custom graphs so that H × latency
+// approaches WheelSpan, the return events start spilling to the
+// overflow heap on every request — BenchmarkScheduleFire/noc-latency
+// tracks exactly this regime, and a drift of its ns/op toward the
+// past-horizon sub-benchmark is the signal to raise wheelBits.
 package event
 
 import (

@@ -1,0 +1,83 @@
+package noc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/event"
+	"repro/internal/mem"
+)
+
+// FuzzNoCConfigValidate fuzzes Config over arbitrary parameter tuples
+// and asserts the validate-then-build contract: either Validate rejects
+// the configuration with one of the package's named errors, or the
+// topology graph builds into a Network that delivers requests between
+// every tile and the hub — never a panic, never a hang. dropEdge
+// optionally removes one directed edge before building, so disconnected
+// graphs are exercised too: NewNetwork must answer with ErrDisconnected
+// (or ErrEdge), not a bad route table.
+func FuzzNoCConfigValidate(f *testing.F) {
+	d := DefaultConfig()
+	f.Add(d.Tiles, int(d.Kind), uint64(d.Link.Latency), d.Link.Bandwidth, d.Link.Queue, d.HomeLines, -1)
+	f.Add(0, 0, uint64(0), 0, 0, 0, -1)
+	f.Add(4, int(Crossbar), uint64(24), 1, 16, 64, 2)
+	f.Add(8, int(Mesh), uint64(5), 2, 4, 128, 0)
+	f.Add(64, int(Mesh), uint64(1), 1, 1, 1, -1)
+	f.Add(3, int(Crossbar), uint64(10), 1, 8, 64, -1)
+	f.Add(2, int(Crossbar), uint64(0), 0, 0, 64, -1)
+	f.Fuzz(func(t *testing.T, tiles, kind int, latency uint64, bandwidth, queue, homeLines, dropEdge int) {
+		cfg := Config{
+			Tiles: tiles, Kind: Kind(kind),
+			Link:      LinkConfig{Latency: event.Cycle(latency), Bandwidth: bandwidth, Queue: queue},
+			HomeLines: homeLines,
+		}
+		err := cfg.Validate()
+		if err != nil {
+			// Rejections must be named, so callers can errors.Is them.
+			named := false
+			for _, want := range []error{ErrTiles, ErrKind, ErrZeroBandwidth, ErrQueue,
+				ErrLatency, ErrBandwidth, ErrHomeLines} {
+				if errors.Is(err, want) {
+					named = true
+					break
+				}
+			}
+			if !named {
+				t.Fatalf("unnamed validation error for %+v: %v", cfg, err)
+			}
+			return
+		}
+		cfg = cfg.WithDefaults()
+		if cfg.Tiles == 1 {
+			// Single tile lowers to direct wiring; no network to build.
+			return
+		}
+		sim := event.New()
+		nodes, edges := Graph(cfg.Kind, cfg.Tiles)
+		if dropEdge >= 0 && dropEdge < len(edges) {
+			edges = append(append([]Edge(nil), edges[:dropEdge]...), edges[dropEdge+1:]...)
+		}
+		net, err := NewNetwork(nodes, edges, cfg.Link, sim)
+		if err != nil {
+			if !errors.Is(err, ErrDisconnected) && !errors.Is(err, ErrEdge) {
+				t.Fatalf("unnamed build error for %+v: %v", cfg, err)
+			}
+			return
+		}
+		// Drive one request along every tile↔hub path both ways and
+		// assert delivery: the route tables a successful build produced
+		// must actually work.
+		hub := Hub(cfg.Tiles)
+		delivered := 0
+		to := cache.PortFunc(func(req *mem.Request) { delivered++ })
+		for tile := 0; tile < cfg.Tiles; tile++ {
+			net.Connect(tile, hub, to).Submit(&mem.Request{})
+			net.Connect(hub, tile, to).Submit(&mem.Request{})
+		}
+		sim.Run()
+		if want := 2 * cfg.Tiles; delivered != want {
+			t.Fatalf("%+v delivered %d of %d requests", cfg, delivered, want)
+		}
+	})
+}

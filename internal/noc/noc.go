@@ -1,0 +1,275 @@
+// Package noc models the on-chip/on-package interconnect between GPU
+// tiles and the shared memory-side agents: point-to-point links with
+// configurable latency and bandwidth, per-link bounded queuing, and hop
+// routing over a small topology graph.
+//
+// The package deliberately reuses the simulator's established idioms so
+// the interconnect costs nothing it does not model: each Link defers
+// in-flight transfers through one pooled event.Queue (one pre-armed
+// drain event, no per-request closures), admission serialization uses
+// the same virtual-slot arithmetic as cache tag ports, and multi-hop
+// envelopes are free-listed so steady-state forwarding performs no
+// allocation (pinned by TestNoCForwardSteadyStateNoAllocs).
+//
+// A Network is built from a node/edge graph (see Graph for the built-in
+// topology shapes) and hands out Paths via Connect. A Path implements
+// cache.Port, so any existing hierarchy hand-off (L1→L2, L2→directory,
+// directory→DRAM) can be lifted onto the interconnect without the
+// endpoints knowing; a same-node Connect returns the sink itself, so a
+// single-tile "topology" lowers to exactly the direct wiring it
+// replaces.
+package noc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Kind selects a built-in topology shape.
+type Kind uint8
+
+const (
+	// Direct is the degenerate single-tile topology: no links, every
+	// hand-off is a direct port call. Multi-tile configs that leave
+	// Kind unset default to Crossbar (see Config.WithDefaults).
+	Direct Kind = iota
+	// Crossbar connects every tile to one central hub node by a
+	// dedicated link pair; the shared directory sits on the hub.
+	Crossbar
+	// Mesh arranges the tiles in a near-square 2D grid with links
+	// between orthogonal neighbours; the hub hangs off tile 0.
+	Mesh
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Crossbar:
+		return "crossbar"
+	case Mesh:
+		return "mesh"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Kinds lists the valid topology names in presentation order.
+func Kinds() []string { return []string{"direct", "crossbar", "mesh"} }
+
+// ParseKind resolves a topology name; the error for an unknown name
+// lists the valid ones (the CLI and server surface it verbatim).
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "direct":
+		return Direct, nil
+	case "crossbar", "xbar":
+		return Crossbar, nil
+	case "mesh":
+		return Mesh, nil
+	}
+	return 0, fmt.Errorf("noc: unknown topology %q (valid: %s)", s, strings.Join(Kinds(), ", "))
+}
+
+// Sanity ceilings. Like gpu.MaxCUs they exist to turn absurd inputs
+// (fuzzers, malformed service requests) into errors instead of
+// gigabyte allocations; the real machines are far below them.
+const (
+	// MaxTiles bounds the tile count (power of two required).
+	MaxTiles = 64
+	// MaxLinkLatency bounds one hop's latency in cycles.
+	MaxLinkLatency = event.Cycle(1) << 20
+	// MaxLinkBandwidth bounds per-link admissions per cycle.
+	MaxLinkBandwidth = 1 << 16
+	// MaxLinkQueue bounds one link's in-flight occupancy (the departure
+	// ring is allocated at this size per link).
+	MaxLinkQueue = 1 << 12
+	// MaxHomeLines bounds the per-tile memory interleave granularity.
+	MaxHomeLines = 1 << 20
+)
+
+// Named validation errors, reachable through errors.Is on anything
+// Config.Validate or NewNetwork returns.
+var (
+	// ErrTiles: tile count not a power of two in [1, MaxTiles].
+	ErrTiles = errors.New("noc: Tiles must be a power of two in [1, 64]")
+	// ErrKind: topology kind is not one of Kinds().
+	ErrKind = errors.New("noc: unknown topology kind")
+	// ErrZeroBandwidth: a link admits no traffic.
+	ErrZeroBandwidth = errors.New("noc: link bandwidth must be positive")
+	// ErrQueue: link queue capacity out of [1, MaxLinkQueue].
+	ErrQueue = errors.New("noc: link queue capacity out of range")
+	// ErrLatency: link latency above MaxLinkLatency.
+	ErrLatency = errors.New("noc: link latency out of range")
+	// ErrBandwidth: link bandwidth above MaxLinkBandwidth.
+	ErrBandwidth = errors.New("noc: link bandwidth out of range")
+	// ErrHomeLines: home interleave not a power of two in [1, MaxHomeLines].
+	ErrHomeLines = errors.New("noc: HomeLines must be a power of two in [1, 1<<20]")
+	// ErrEdge: an edge references a node outside the graph or loops on
+	// itself.
+	ErrEdge = errors.New("noc: edge endpoint out of range")
+	// ErrDisconnected: the topology graph does not connect every node
+	// to every other.
+	ErrDisconnected = errors.New("noc: topology graph is disconnected")
+)
+
+// LinkConfig is the per-link cost model: every hop pays Latency cycles,
+// admits Bandwidth line requests per cycle, and holds at most Queue
+// transfers in flight (an admission waits for the oldest in-flight
+// transfer to depart once the link is full).
+type LinkConfig struct {
+	Latency   event.Cycle
+	Bandwidth int
+	Queue     int
+}
+
+// DefaultLinkConfig returns the link model the built-in topologies use
+// unless overridden: a 24-cycle hop, one line per cycle, 16 in flight.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{Latency: 24, Bandwidth: 1, Queue: 16}
+}
+
+// validate checks one link model against the sanity ceilings.
+func (l LinkConfig) validate() error {
+	if l.Bandwidth <= 0 {
+		return fmt.Errorf("%w (got %d)", ErrZeroBandwidth, l.Bandwidth)
+	}
+	if l.Bandwidth > MaxLinkBandwidth {
+		return fmt.Errorf("%w (got %d, max %d)", ErrBandwidth, l.Bandwidth, MaxLinkBandwidth)
+	}
+	if l.Queue <= 0 || l.Queue > MaxLinkQueue {
+		return fmt.Errorf("%w (got %d, max %d)", ErrQueue, l.Queue, MaxLinkQueue)
+	}
+	if l.Latency > MaxLinkLatency {
+		return fmt.Errorf("%w (got %d, max %d)", ErrLatency, l.Latency, MaxLinkLatency)
+	}
+	return nil
+}
+
+// Config describes one interconnect: how many GPU tiles, the topology
+// shape connecting them to the shared hub, the link cost model, and the
+// address-interleave granularity that assigns each cache line a home
+// tile (and so a home HBM stack).
+//
+// The zero value means "no interconnect": WithDefaults resolves it to a
+// single tile with direct wiring, which the system layer lowers to
+// byte-identical pre-NoC construction. Unset fields of a multi-tile
+// config take defaults (Crossbar, DefaultLinkConfig, 64-line homes); an
+// explicitly wrong field — a zero-bandwidth link next to a non-zero
+// latency, a non-power-of-two tile count — is rejected by Validate with
+// a named error, never silently patched.
+type Config struct {
+	// Tiles is the number of GPU tiles (power of two, ≤ MaxTiles).
+	// 0 and 1 both mean a single tile with zero-cost direct wiring.
+	Tiles int
+	// Kind is the topology shape for Tiles > 1.
+	Kind Kind
+	// Link is the cost model applied to every link in the graph.
+	Link LinkConfig
+	// HomeLines is the contiguous run of cache lines mapped to one
+	// home tile before the interleave moves to the next (power of
+	// two; 64 lines = 4 KB stripes by default).
+	HomeLines int
+}
+
+// DefaultConfig returns the explicit single-tile interconnect.
+func DefaultConfig() Config {
+	return Config{Tiles: 1, Kind: Direct, Link: DefaultLinkConfig(), HomeLines: 64}
+}
+
+// WithDefaults resolves the "unset" conventions: zero Tiles becomes 1,
+// an all-zero Link becomes DefaultLinkConfig, zero HomeLines becomes
+// 64, and a multi-tile config with Kind left at Direct becomes a
+// Crossbar. It never mutates the receiver.
+func (c Config) WithDefaults() Config {
+	if c.Tiles == 0 {
+		c.Tiles = 1
+	}
+	if c.Link == (LinkConfig{}) {
+		c.Link = DefaultLinkConfig()
+	}
+	if c.HomeLines == 0 {
+		c.HomeLines = 64
+	}
+	if c.Tiles > 1 && c.Kind == Direct {
+		c.Kind = Crossbar
+	}
+	return c
+}
+
+// Validate reports configuration errors after resolving WithDefaults.
+// Every failure wraps one of the package's named errors.
+func (c Config) Validate() error {
+	d := c.WithDefaults()
+	if d.Tiles < 1 || d.Tiles > MaxTiles || d.Tiles&(d.Tiles-1) != 0 {
+		return fmt.Errorf("%w (got %d)", ErrTiles, d.Tiles)
+	}
+	if d.Kind != Direct && d.Kind != Crossbar && d.Kind != Mesh {
+		return fmt.Errorf("%w (got %d)", ErrKind, uint8(d.Kind))
+	}
+	if d.HomeLines < 1 || d.HomeLines > MaxHomeLines || d.HomeLines&(d.HomeLines-1) != 0 {
+		return fmt.Errorf("%w (got %d)", ErrHomeLines, d.HomeLines)
+	}
+	if d.Tiles == 1 {
+		// No links exist; the link model is irrelevant.
+		return nil
+	}
+	return d.Link.validate()
+}
+
+// Edge is one directed link in a topology graph.
+type Edge struct{ Src, Dst int }
+
+// Graph returns the node count and directed edge list of kind over the
+// given tile count. Nodes 0..tiles-1 are the tile endpoints; node
+// Hub(tiles) is the shared hub where the directory attaches. Every
+// built-in shape emits both directions of each physical channel, in a
+// deterministic order (link statistics index into this order).
+func Graph(kind Kind, tiles int) (nodes int, edges []Edge) {
+	switch kind {
+	case Direct:
+		return 1, nil
+	case Crossbar:
+		hub := tiles
+		edges = make([]Edge, 0, 2*tiles)
+		for t := 0; t < tiles; t++ {
+			edges = append(edges, Edge{t, hub}, Edge{hub, t})
+		}
+		return tiles + 1, edges
+	case Mesh:
+		rows, cols := meshDims(tiles)
+		hub := tiles
+		for t := 0; t < tiles; t++ {
+			r, c := t/cols, t%cols
+			if c+1 < cols {
+				edges = append(edges, Edge{t, t + 1}, Edge{t + 1, t})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{t, t + cols}, Edge{t + cols, t})
+			}
+		}
+		// The hub (directory + CPU-side fabric) hangs off tile 0's
+		// corner router, like an off-mesh I/O die.
+		edges = append(edges, Edge{0, hub}, Edge{hub, 0})
+		return tiles + 1, edges
+	default:
+		panic(fmt.Sprintf("noc: Graph called with invalid kind %d", uint8(kind)))
+	}
+}
+
+// Hub returns the hub node id for a tile count.
+func Hub(tiles int) int { return tiles }
+
+// meshDims picks the near-square grid for a power-of-two tile count:
+// 4 → 2×2, 8 → 2×4, 16 → 4×4.
+func meshDims(tiles int) (rows, cols int) {
+	rows = 1
+	for rows*rows*4 <= tiles {
+		rows *= 2
+	}
+	return rows, tiles / rows
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -88,6 +89,58 @@ func RenderTotals(w io.Writer, rs []core.Result) {
 		{"Kernels launched", fmt.Sprint(tot.Kernels)},
 	}
 	Table(w, "Matrix totals (all cells)", []string{"Metric", "Value"}, rows)
+	fmt.Fprintln(w)
+	// Multi-tile sweeps carry aggregated per-tile and per-link sections;
+	// single-tile totals have none and this prints nothing.
+	RenderTopology(w, tot)
+}
+
+// RenderTopology writes the per-tile and per-link breakdown of a
+// multi-tile snapshot: one row per tile (its L1/L2 hit rates and local
+// HBM traffic) and one row per NoC link (traffic carried, cycles flits
+// waited for bandwidth or queue space, and the deepest in-flight queue).
+// Single-tile snapshots carry no topology sections and print nothing.
+func RenderTopology(w io.Writer, s stats.Snapshot) {
+	if len(s.Tiles) == 0 {
+		return
+	}
+	tileRows := make([][]string, len(s.Tiles))
+	for i, t := range s.Tiles {
+		tileRows[i] = []string{
+			fmt.Sprint(i),
+			fmt.Sprintf("%.1f%%", 100*t.L1.HitRate()),
+			fmt.Sprintf("%.1f%%", 100*t.L2.HitRate()),
+			fmt.Sprintf("%d (reads %d, writes %d)",
+				t.DRAM.Accesses(), t.DRAM.Reads, t.DRAM.Writes),
+			fmt.Sprintf("%.1f%%", 100*t.DRAM.RowHitRate()),
+		}
+	}
+	Table(w, "Per-tile breakdown",
+		[]string{"Tile", "L1 hit", "L2 hit", "Local HBM accesses", "Row hit"}, tileRows)
+	fmt.Fprintln(w)
+
+	if len(s.Links) == 0 {
+		return
+	}
+	// Node indices 0..tiles-1 are tiles; the directory hub is the one
+	// extra node every built-in topology appends.
+	node := func(n int) string {
+		if n == len(s.Tiles) {
+			return "hub"
+		}
+		return fmt.Sprint(n)
+	}
+	linkRows := make([][]string, len(s.Links))
+	for i, l := range s.Links {
+		linkRows[i] = []string{
+			fmt.Sprintf("%s → %s", node(l.Src), node(l.Dst)),
+			fmt.Sprint(l.Forwarded),
+			fmt.Sprint(l.StallCycles),
+			fmt.Sprint(l.QueuePeak),
+		}
+	}
+	Table(w, "NoC links",
+		[]string{"Link", "Flits", "Stall cycles", "Queue peak"}, linkRows)
 	fmt.Fprintln(w)
 }
 

@@ -4,7 +4,10 @@
 // Snapshot.
 package stats
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Snapshot aggregates every statistic the paper's figures need for one
 // simulated run (one workload under one cache configuration).
@@ -28,6 +31,57 @@ type Snapshot struct {
 	Kernels uint64
 	// FootprintBytes is the number of distinct bytes touched.
 	FootprintBytes uint64
+
+	// Tiles holds per-tile statistics when the run used a multi-tile
+	// topology (internal/noc); nil for single-tile runs, so the
+	// pre-topology Snapshot layout — and the 0 allocs/op contract of
+	// Add on single-tile slabs — is unchanged. Index is the tile id.
+	Tiles []TileStats `json:"Tiles,omitempty"`
+	// Links holds per-link statistics in the topology graph's edge
+	// order; nil for single-tile runs.
+	Links []LinkStats `json:"Links,omitempty"`
+}
+
+// TileStats is one GPU tile's share of the hierarchy counters: its own
+// L1s, its L2 slice, and its local HBM stack.
+type TileStats struct {
+	L1, L2 CacheStats
+	DRAM   DRAMStats
+}
+
+// Add accumulates other into t.
+func (t *TileStats) Add(other TileStats) {
+	t.L1.Add(other.L1)
+	t.L2.Add(other.L2)
+	t.DRAM.Add(other.DRAM)
+}
+
+// LinkStats counts traffic on one interconnect link (one direction of
+// one physical channel). Src and Dst are topology node ids: tiles are
+// 0..Tiles-1 and the hub (directory) is node Tiles.
+type LinkStats struct {
+	Src, Dst int
+	// Forwarded is the number of requests the link carried.
+	Forwarded uint64
+	// StallCycles sums the admission delay imposed by the link's
+	// bandwidth serialization and bounded queue.
+	StallCycles uint64
+	// QueuePeak is the in-flight occupancy high-water mark. Merging
+	// snapshots keeps the maximum, not the sum.
+	QueuePeak uint64
+}
+
+// add merges other into l: traffic sums, the occupancy peak takes the
+// maximum. A zero-valued l adopts other's link identity.
+func (l *LinkStats) add(other LinkStats) {
+	if *l == (LinkStats{}) {
+		l.Src, l.Dst = other.Src, other.Dst
+	}
+	l.Forwarded += other.Forwarded
+	l.StallCycles += other.StallCycles
+	if other.QueuePeak > l.QueuePeak {
+		l.QueuePeak = other.QueuePeak
+	}
 }
 
 // CacheStats counts events at one cache level.
@@ -127,6 +181,9 @@ func (d *DRAMStats) Add(other DRAMStats) {
 // matrix aggregation slabs, report totals, trace replay summaries — so
 // no caller hand-sums a subset of fields and silently drops the rest
 // when Snapshot grows one.
+// Per-tile and per-link slices merge element-wise, growing s as needed;
+// when both sides are nil (every single-tile run) no allocation happens,
+// preserving the slab contract pinned by TestTotalsAllocationFree.
 func (s *Snapshot) Add(other Snapshot) {
 	s.Cycles += other.Cycles
 	s.VectorOps += other.VectorOps
@@ -136,6 +193,42 @@ func (s *Snapshot) Add(other Snapshot) {
 	s.DRAM.Add(other.DRAM)
 	s.Kernels += other.Kernels
 	s.FootprintBytes += other.FootprintBytes
+	if len(other.Tiles) > 0 {
+		for len(s.Tiles) < len(other.Tiles) {
+			s.Tiles = append(s.Tiles, TileStats{})
+		}
+		for i := range other.Tiles {
+			s.Tiles[i].Add(other.Tiles[i])
+		}
+	}
+	if len(other.Links) > 0 {
+		for len(s.Links) < len(other.Links) {
+			s.Links = append(s.Links, LinkStats{})
+		}
+		for i := range other.Links {
+			s.Links[i].add(other.Links[i])
+		}
+	}
+}
+
+// Equal reports whether two snapshots are identical, field for field.
+// Snapshot stopped being a comparable struct when the per-tile and
+// per-link slices arrived; every byte-identity contract in the test
+// suite (golden matrix, reset-vs-fresh, sequential-vs-parallel,
+// NoC-vs-direct) goes through this method instead of ==.
+// Like Add, it enumerates every field: a new field must be added here
+// too, or byte-identity tests stop seeing it.
+func (s Snapshot) Equal(o Snapshot) bool {
+	return s.Cycles == o.Cycles &&
+		s.VectorOps == o.VectorOps &&
+		s.GPUMemRequests == o.GPUMemRequests &&
+		s.L1 == o.L1 &&
+		s.L2 == o.L2 &&
+		s.DRAM == o.DRAM &&
+		s.Kernels == o.Kernels &&
+		s.FootprintBytes == o.FootprintBytes &&
+		slices.Equal(s.Tiles, o.Tiles) &&
+		slices.Equal(s.Links, o.Links)
 }
 
 // GVOPS returns giga vector operations per second given the GPU clock in
