@@ -404,6 +404,85 @@ func BenchmarkSystemResetRun(b *testing.B) {
 	}
 }
 
+// --- Single-cell benchmarks (intra-cell parallelism) ---
+
+// BenchmarkRunOneCell pins the cost of one hot simulation cell — the
+// unit the partitioned engine tries to speed up. Two sizes: the paper's
+// CM workload at scale 0.3 on the full Table 1 machine (the realistic
+// hot cell; CM's conv GEMM dims are scale-insensitive, so it stays a
+// multi-second cell), and a CI-sized FwSoft cell on the reduced bench
+// machine that keeps the bench-smoke workflow's iteration sub-second.
+func BenchmarkRunOneCell(b *testing.B) {
+	v, err := core.VariantByLabel("CacheRW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name     string
+		workload string
+		cfg      core.Config
+		scale    workloads.Scale
+	}{
+		{"CM-0.3", "CM", core.DefaultConfig(), 0.3},
+		{"FwSoft-ci", "FwSoft", benchConfig(), benchScale},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			spec, err := workloads.ByName(tc.workload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := core.NewSystem(tc.cfg, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := spec.Build(tc.scale)
+			sys.Run(w) // warm capacities so the loop is steady-state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Reset()
+				if _, err := sys.Run(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunOneCellWorkers runs the CI-sized cell under CellWorkers ∈
+// {1, 2, 4} for a direct sequential-vs-partitioned comparison. Note the
+// current partitioned engine fires events in exact global order (the
+// byte-identity contract), so workers > 1 measures rotation overhead,
+// not speedup — see the intra-cell parallelism section in README.md.
+func BenchmarkRunOneCellWorkers(b *testing.B) {
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := core.VariantByLabel("CacheRW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := spec.Build(benchScale)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sys, err := core.NewSystemWorkers(benchConfig(), v, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Run(w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Reset()
+				if _, err := sys.Run(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Component microbenchmarks (simulator throughput) ---
 //
 // These track the zero-allocation hot-path contract: the event engine

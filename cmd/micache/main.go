@@ -54,6 +54,7 @@ func run(args []string) error {
 		replay   = fs.String("replay", "", "replay a recorded trace under -policy (trace-driven mode)")
 		window   = fs.Int("window", 64, "outstanding-request window for -replay (0 = timed replay)")
 		workers  = fs.Int("workers", 0, "concurrent simulations for matrix runs (0 = GOMAXPROCS, 1 = sequential)")
+		cellW    = fs.Int("cell-workers", 1, "intra-cell partitioned-execution workers per simulation (1 = sequential engine)")
 		quiet    = fs.Bool("quiet", false, "suppress progress output on stderr")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
 		maxEv    = fs.Uint64("max-events", 0, "event budget per simulation (0 = unlimited)")
@@ -65,6 +66,9 @@ func run(args []string) error {
 	// workload to empty kernels; reject it before anything runs.
 	if !(*scale > 0) || math.IsInf(*scale, 0) {
 		return fmt.Errorf("-scale must be positive and finite, got %g", *scale)
+	}
+	if *cellW < 1 || *cellW > core.MaxCellWorkers {
+		return fmt.Errorf("-cell-workers must be in 1..%d, got %d", core.MaxCellWorkers, *cellW)
 	}
 
 	cfg := core.DefaultConfig()
@@ -102,13 +106,13 @@ func run(args []string) error {
 	case *replay != "":
 		return runReplay(cfg, *replay, *variant, *window)
 	case *workload != "":
-		return runSingle(cfg, *workload, *variant, sc, *record, budgets)
+		return runSingle(cfg, *workload, *variant, sc, *record, budgets, *cellW)
 	case *figure != 0:
-		return runFigures(cfg, []int{*figure}, sc, *csv, *workers, *quiet, budgets)
+		return runFigures(cfg, []int{*figure}, sc, *csv, *workers, *cellW, *quiet, budgets)
 	case *all:
 		report.RenderTable1(out, cfg)
 		report.RenderTable2(out, sc)
-		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv, *workers, *quiet, budgets)
+		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv, *workers, *cellW, *quiet, budgets)
 	default:
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table, -figure or -workload")
@@ -142,8 +146,9 @@ func lookupVariant(label string) (core.Variant, error) {
 
 // runSingle runs one workload under one variant and prints full stats;
 // with recordPath it also captures and writes the memory trace (the
-// recording path ignores budgets — a trace must be complete or absent).
-func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string, b core.Budgets) error {
+// recording path ignores budgets and cell workers — a trace must be
+// complete or absent, and recording hooks the sequential engine).
+func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string, b core.Budgets, cellWorkers int) error {
 	spec, err := workloads.ByName(name)
 	if err != nil {
 		return fmt.Errorf("unknown workload %q (valid: %s)", name, workloadNames())
@@ -173,7 +178,7 @@ func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPa
 		}
 		fmt.Fprintf(os.Stderr, "recorded %d events to %s\n", len(tr.Events), recordPath)
 	} else {
-		r, err = core.RunOneWith(cfg, v, spec, sc, b)
+		r, err = core.RunOneWorkers(cfg, v, spec, sc, b, cellWorkers)
 		if err != nil {
 			return err
 		}
@@ -247,7 +252,7 @@ func runReplay(cfg core.Config, path, label string, window int) error {
 
 // runFigures computes the result matrix once — cells spread over the
 // requested worker count — and renders the requested figures.
-func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, workers int, quiet bool, b core.Budgets) error {
+func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, workers, cellWorkers int, quiet bool, b core.Budgets) error {
 	specs := workloads.All()
 	figMap := report.Figures(cfg.GPUClockMHz)
 	sort.Ints(figs)
@@ -282,6 +287,7 @@ func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, worke
 	start := time.Now()
 	opts := core.RunMatrixOpts{
 		Workers:          workers,
+		CellWorkers:      cellWorkers,
 		CellTimeout:      b.Timeout,
 		MaxEventsPerCell: b.MaxEvents,
 	}

@@ -98,18 +98,26 @@ type runRequest struct {
 	// per request; the default (0 / "") keeps the pooled fast path.
 	Tiles    int    `json:"tiles,omitempty"`
 	Topology string `json:"topology,omitempty"`
+	// CellWorkers selects partitioned intra-cell execution (see
+	// core.NewSystemWorkers). 0 defaults to 1 (the sequential engine and
+	// the warm pool); values above 1 run on a fresh partitioned system,
+	// whose results are byte-identical to sequential by contract.
+	CellWorkers int `json:"cell_workers,omitempty"`
 }
 
 type runResponse struct {
-	Workload  string         `json:"workload"`
-	Variant   string         `json:"variant"`
-	Scale     float64        `json:"scale"`
-	Tiles     int            `json:"tiles,omitempty"`
-	Topology  string         `json:"topology,omitempty"`
-	ElapsedMS float64        `json:"elapsed_ms"`
-	GVOPS     float64        `json:"gvops"`
-	GMRs      float64        `json:"gmrs"`
-	Snapshot  stats.Snapshot `json:"snapshot"`
+	Workload string  `json:"workload"`
+	Variant  string  `json:"variant"`
+	Scale    float64 `json:"scale"`
+	Tiles    int     `json:"tiles,omitempty"`
+	Topology string  `json:"topology,omitempty"`
+	// CellWorkers echoes the resolved intra-cell worker count the run
+	// actually used (1 when the request omitted it).
+	CellWorkers int            `json:"cell_workers"`
+	ElapsedMS   float64        `json:"elapsed_ms"`
+	GVOPS       float64        `json:"gvops"`
+	GMRs        float64        `json:"gmrs"`
+	Snapshot    stats.Snapshot `json:"snapshot"`
 }
 
 type errResponse struct {
@@ -169,6 +177,15 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("scale must be in (0, %g], got %g", s.maxScale, req.Scale)})
 		return
 	}
+	cellWorkers := req.CellWorkers
+	if cellWorkers == 0 {
+		cellWorkers = 1
+	}
+	if cellWorkers < 1 || cellWorkers > core.MaxCellWorkers {
+		writeJSON(w, http.StatusBadRequest, errResponse{
+			Error: fmt.Sprintf("cell_workers must be in 1..%d, got %d", core.MaxCellWorkers, req.CellWorkers)})
+		return
+	}
 	// An off-default topology reshapes the whole hierarchy, so it cannot
 	// reuse pooled systems; validate the derived config now (client
 	// error) and build fresh after admission.
@@ -219,9 +236,13 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
+	// A partitioned run (cell_workers > 1) also builds fresh: the warm
+	// pool holds sequential systems, and the two wirings are not
+	// interchangeable after construction.
 	var sys *core.System
-	if topoCustom {
-		sys, err = core.NewSystem(cfg, v)
+	freshSystem := topoCustom || cellWorkers > 1
+	if freshSystem {
+		sys, err = core.NewSystemWorkers(cfg, v, cellWorkers)
 	} else {
 		sys, err = s.pool.Get(v)
 	}
@@ -252,17 +273,18 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.log.Error("run panicked", "workload", req.Workload, "variant", req.Variant, "err", runErr)
 		writeJSON(w, http.StatusInternalServerError, errResponse{Error: runErr.Error()})
 	case runErr == nil:
-		if !topoCustom {
+		if !freshSystem {
 			s.pool.Put(sys)
 		}
 		resp := runResponse{
-			Workload:  req.Workload,
-			Variant:   req.Variant,
-			Scale:     req.Scale,
-			ElapsedMS: float64(elapsed.Microseconds()) / 1e3,
-			GVOPS:     snap.GVOPS(s.cfg.GPUClockMHz),
-			GMRs:      snap.GMRs(s.cfg.GPUClockMHz),
-			Snapshot:  snap,
+			Workload:    req.Workload,
+			Variant:     req.Variant,
+			Scale:       req.Scale,
+			CellWorkers: cellWorkers,
+			ElapsedMS:   float64(elapsed.Microseconds()) / 1e3,
+			GVOPS:       snap.GVOPS(s.cfg.GPUClockMHz),
+			GMRs:        snap.GMRs(s.cfg.GPUClockMHz),
+			Snapshot:    snap,
 		}
 		if topoCustom {
 			t := cfg.Topology.WithDefaults()
@@ -277,9 +299,9 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		case errors.As(runErr, &be):
 			// Interrupted, not broken: Put resets the system, and the
 			// chaos tests pin that reset-after-interrupt ≡ fresh.
-			// Off-default topologies were never pooled; let the GC
-			// take them.
-			if !topoCustom {
+			// Off-default topologies and partitioned systems were never
+			// pooled; let the GC take them.
+			if !freshSystem {
 				s.pool.Put(sys)
 			}
 			s.log.Warn("run over budget", "workload", req.Workload, "variant", req.Variant,

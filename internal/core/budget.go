@@ -155,7 +155,7 @@ const (
 // (flag: monitor → sim, progress: sim → monitor). Everything else is
 // goroutine-local.
 type budgetRunner struct {
-	sim       *event.Sim
+	sys       *System
 	maxEvents uint64
 
 	// flag is set (once) by the monitor goroutine: canceled, timeout, or
@@ -172,10 +172,13 @@ type budgetRunner struct {
 
 // poll is the engine stop condition: one comparison for the event
 // budget, one atomic store publishing progress, one atomic load checking
-// the monitor's verdict. It runs once per bucket drain, between event
-// callbacks, on the simulation goroutine.
+// the monitor's verdict. It runs once per bucket drain (sequential) or
+// once per group clock advance (partitioned), between event callbacks,
+// on whichever goroutine is driving the simulation. On a partitioned
+// system the fired count sums every partition's engine, so MaxEvents
+// budgets a run's total work regardless of how it is partitioned.
 func (r *budgetRunner) poll() bool {
-	fired := r.sim.Fired()
+	fired := r.sys.engineFired()
 	if r.maxEvents > 0 && fired >= r.maxEvents {
 		r.reason = ReasonMaxEvents
 		return true
@@ -260,7 +263,7 @@ func (s *System) RunBudgeted(w workloads.Workload, b Budgets) (stats.Snapshot, e
 			return stats.Snapshot{}, &ErrBudgetExceeded{
 				Workload: name, Variant: s.Variant.Label,
 				Reason: ReasonCanceled, Cause: err,
-				Clock: s.Sim.Now(), Fired: s.Sim.Fired(), Pending: s.Sim.Pending(),
+				Clock: s.clockNow(), Fired: s.engineFired(), Pending: s.enginePending(),
 			}
 		}
 	}
@@ -269,7 +272,7 @@ func (s *System) RunBudgeted(w workloads.Workload, b Budgets) (stats.Snapshot, e
 	start := time.Now()
 	var stopMonitor func()
 	if !b.unbounded() {
-		r = &budgetRunner{sim: s.Sim, maxEvents: b.MaxEvents}
+		r = &budgetRunner{sys: s, maxEvents: b.MaxEvents}
 		if b.Ctx != nil || b.Timeout > 0 || b.WatchdogInterval > 0 {
 			done := make(chan struct{})
 			stopMonitor = func() { close(done) }
@@ -283,26 +286,26 @@ func (s *System) RunBudgeted(w workloads.Workload, b Budgets) (stats.Snapshot, e
 			}
 			go r.monitor(done, ctxDone, b.Timeout, b.WatchdogInterval, b.OnStall, who)
 		}
-		s.Sim.SetStop(r.poll)
-		defer s.Sim.SetStop(nil)
+		s.setStop(r.poll)
+		defer s.setStop(nil)
 	}
 
 	finished := false
 	s.GPU.RunWorkload(w.Kernels, func() {
 		s.Engine.Finish(func() { finished = true })
 	})
-	s.Sim.Run()
+	s.runEngine()
 	if stopMonitor != nil {
 		stopMonitor()
 	}
 
-	if s.Sim.Stopped() {
+	if s.engineStopped() {
 		err := &ErrBudgetExceeded{
 			Workload: name, Variant: s.Variant.Label,
 			Reason:  r.reason,
-			Clock:   s.Sim.Now(),
-			Fired:   s.Sim.Fired(),
-			Pending: s.Sim.Pending(),
+			Clock:   s.clockNow(),
+			Fired:   s.engineFired(),
+			Pending: s.enginePending(),
 			Elapsed: time.Since(start),
 			Partial: s.Snapshot(w),
 		}
@@ -314,7 +317,7 @@ func (s *System) RunBudgeted(w workloads.Workload, b Budgets) (stats.Snapshot, e
 	if !finished {
 		return stats.Snapshot{}, &ErrDeadlock{
 			Workload: name, Variant: s.Variant.Label,
-			Clock: s.Sim.Now(), Fired: s.Sim.Fired(), Pending: s.Sim.Pending(),
+			Clock: s.clockNow(), Fired: s.engineFired(), Pending: s.enginePending(),
 		}
 	}
 	return s.Snapshot(w), nil

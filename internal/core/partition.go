@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/event"
+)
+
+// This file is the partitioned-execution runner behind NewSystemWorkers:
+// partition layout lives in NewSystemWorkers/buildHierarchy, the window
+// (lookahead) derivation and the worker rotation live here.
+//
+// Correctness model. Every member engine of the system's SimGroup draws
+// event sequence numbers from one shared counter, and the group fires
+// events in exact global (cycle, sequence) order, which provably replays
+// the single-wheel sequential schedule byte for byte (see the package
+// comment in internal/event/group.go). Execution is therefore
+// serialized: workers take turns holding an execution token and driving
+// the group for one safe-horizon window at a time. The token hand-off
+// over channels gives the race detector (and the memory model) the
+// happens-before edges that make the single-threaded engine state safe
+// to touch from rotating goroutines. True overlap inside a window is
+// deliberately not attempted: two of the partition cut edges are
+// zero-latency at the crossing point (a cache's forward queue submits to
+// its lower level synchronously at drain time, and Done callbacks run
+// inside the responder's event), and the statistics are sensitive to
+// same-cycle event order, so concurrent windows cannot reproduce the
+// sequential snapshot bit for bit. Making overlap real — an
+// order-insensitive statistics mode, or speculative windows with
+// replay — is the named follow-on in ROADMAP.md.
+
+// MaxCellWorkers bounds the intra-cell worker count a system can be
+// built with; it exists so user-facing surfaces (micached's
+// "cell_workers" field, micache's -cell-workers flag) have a validated
+// range rather than spawning an unbounded goroutine ring.
+const MaxCellWorkers = 64
+
+// derivedWindow is the safe-horizon window a partitioned run rotates
+// execution in: the minimum declared latency across the partition cut
+// edges — L1 and L2 Submit-to-lower bounds (their tag-lookup latency),
+// the directory's fabric hop, and the narrowest NoC path. Components
+// declaring a zero bound (a synchronous hand-off) contribute no slack
+// and are skipped; if nothing declares one, the window degenerates to a
+// single cycle. The window only sets rotation granularity — exact-order
+// firing keeps any window byte-identical — so a too-small bound costs
+// hand-offs, never correctness.
+func derivedWindow(sys *System) event.Cycle {
+	var w event.Cycle
+	add := func(c event.Cycle) {
+		if c > 0 && (w == 0 || c < w) {
+			w = c
+		}
+	}
+	for _, l1 := range sys.L1s {
+		add(l1.BoundaryLatency())
+	}
+	for i := range sys.Tiles {
+		add(sys.Tiles[i].L2.BoundaryLatency())
+	}
+	add(sys.Directory.BoundaryLatency())
+	if sys.Net != nil {
+		add(sys.Net.MinPathLatency())
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Lookahead reports the derived safe-horizon window of a partitioned
+// system, in cycles; 0 for a sequential system.
+func (s *System) Lookahead() event.Cycle {
+	if s.Group == nil {
+		return 0
+	}
+	return s.window
+}
+
+// clockNow is the system clock: the group clock when partitioned, the
+// engine clock otherwise.
+func (s *System) clockNow() event.Cycle {
+	if s.Group != nil {
+		return s.Group.Now()
+	}
+	return s.Sim.Now()
+}
+
+// engineFired sums fired events across all partitions, so event budgets
+// (Budgets.MaxEvents) count a partitioned run's work exactly like a
+// sequential run's.
+func (s *System) engineFired() uint64 {
+	if s.Group != nil {
+		return s.Group.Fired()
+	}
+	return s.Sim.Fired()
+}
+
+// enginePending aggregates pending events across all partitions.
+func (s *System) enginePending() int {
+	if s.Group != nil {
+		return s.Group.Pending()
+	}
+	return s.Sim.Pending()
+}
+
+// engineStopped reports whether the last run was interrupted by the
+// cooperative stop condition.
+func (s *System) engineStopped() bool {
+	if s.Group != nil {
+		return s.Group.Stopped()
+	}
+	return s.Sim.Stopped()
+}
+
+// setStop installs (or clears) the cooperative stop condition on
+// whichever engine drives this system.
+func (s *System) setStop(stop func() bool) {
+	if s.Group != nil {
+		s.Group.SetStop(stop)
+	} else {
+		s.Sim.SetStop(stop)
+	}
+}
+
+// runEngine drives one workload run to completion (or stop).
+func (s *System) runEngine() {
+	if s.Group != nil {
+		s.runPartitioned()
+	} else {
+		s.Sim.Run()
+	}
+}
+
+// runWindowSafe drives one window, converting a component panic into a
+// value the rotation can re-raise on the caller's goroutine.
+func runWindowSafe(g *event.SimGroup, window event.Cycle) (more bool, p any) {
+	defer func() { p = recover() }()
+	return g.RunWindow(g.Now() + window), nil
+}
+
+// runPartitioned drives the group to completion by rotating an
+// execution token across CellWorkers goroutines; each holder runs one
+// lookahead-sized window, then passes the token on. Exactly one worker
+// touches the engines at a time, and every hand-off is a channel
+// send/receive, so the simulation state needs no locks and the rotation
+// is race-detector clean. A stop-condition trip (budgets, cancellation,
+// the watchdog) or a drain ends the rotation; a panic inside a window
+// is re-raised on the calling goroutine.
+func (s *System) runPartitioned() {
+	g := s.Group
+	if s.CellWorkers <= 1 {
+		// Partitioned systems resolve to >= 2 workers, but keep the
+		// degenerate case correct and allocation-free.
+		g.Run()
+		return
+	}
+	workers := s.CellWorkers
+	window := s.window
+	ring := make([]chan struct{}, workers)
+	for i := range ring {
+		ring[i] = make(chan struct{}, 1)
+	}
+	var closeOnce sync.Once
+	closeAll := func() {
+		closeOnce.Do(func() {
+			for _, c := range ring {
+				close(c)
+			}
+		})
+	}
+	// Written only by the token holder that ends the rotation; the
+	// WaitGroup join orders it before the read below.
+	var panicked any
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for range ring[i] {
+				more, p := runWindowSafe(g, window)
+				if p != nil {
+					panicked = p
+					closeAll()
+					return
+				}
+				if !more || g.Stopped() {
+					closeAll()
+					return
+				}
+				ring[(i+1)%workers] <- struct{}{}
+			}
+		}(i)
+	}
+	ring[0] <- struct{}{}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/workloads"
+)
+
+// TestPartitionedDifferentialRandomized is the oracle contract of
+// partitioned execution: over seeded random (workload, variant, scale,
+// tiles, cell-workers) tuples, a partitioned run must be byte-identical
+// to the sequential wheel — snapshot, clock, and all. CI runs it under
+// -race, which also checks the worker rotation's hand-off discipline.
+func TestPartitionedDifferentialRandomized(t *testing.T) {
+	iters := 6
+	if testing.Short() {
+		iters = 2
+	}
+	rng := rand.New(rand.NewSource(0x10AD4EAD)) // "lookahead"
+	specs := smallSpecs(t, "FwSoft", "FwAct", "FwPool")
+	vs := AllVariants()
+
+	for it := 0; it < iters; it++ {
+		spec := specs[rng.Intn(len(specs))]
+		v := vs[rng.Intn(len(vs))]
+		scale := workloads.Scale(0.004 + 0.012*rng.Float64())
+		tiles := 1
+		cfg := testConfig()
+		if rng.Intn(2) == 1 {
+			tiles = 2
+			cfg = tiledConfig(2, noc.Crossbar)
+		}
+		cellWorkers := 2 + rng.Intn(3)
+
+		ref, err := RunOne(cfg, v, spec, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunOneWorkers(cfg, v, spec, scale, Budgets{}, cellWorkers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Equal(got) {
+			t.Fatalf("iter %d (%s/%s scale=%g tiles=%d workers=%d): partitioned differs from sequential:\nseq:  %+v\npart: %+v",
+				it, spec.Name, v.Label, scale, tiles, cellWorkers, ref.Snap, got.Snap)
+		}
+	}
+}
+
+// TestPartitionedMatrixDifferential pins the matrix path: RunMatrixWith
+// under CellWorkers > 1 (pooled, so reset partitioned systems are
+// reused across cells) returns exactly the sequential matrix.
+func TestPartitionedMatrixDifferential(t *testing.T) {
+	cfg := testConfig()
+	specs := smallSpecs(t, "FwSoft", "FwAct")
+	vs := AllVariants()
+	const scale = workloads.Scale(0.01)
+
+	ref, err := RunMatrixWith(cfg, vs, specs, scale, RunMatrixOpts{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunMatrixWith(cfg, vs, specs, scale, RunMatrixOpts{Workers: 2, CellWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(got) {
+		t.Fatalf("matrix sizes differ: %d vs %d", len(ref), len(got))
+	}
+	for i := range ref {
+		if !ref[i].Equal(got[i]) {
+			t.Fatalf("cell %d differs under CellWorkers=2:\nseq:  %+v\npart: %+v", i, ref[i], got[i])
+		}
+	}
+}
+
+// TestPartitionedResetEquivalence pins reset ≡ fresh for partitioned
+// systems, per variant: run partitioned, Reset, run again — both runs
+// byte-identical to a fresh sequential system's result.
+func TestPartitionedResetEquivalence(t *testing.T) {
+	cfg := testConfig()
+	spec, err := workloads.ByName("FwPool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spec.Build(testScale)
+
+	for _, v := range AllVariants() {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			seq, err := NewSystem(cfg, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := mustRun(t, seq, w)
+
+			sys, err := NewSystemWorkers(cfg, v, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := mustRun(t, sys, w)
+			if !first.Equal(ref) {
+				t.Fatalf("fresh partitioned run differs from sequential:\nseq:  %+v\npart: %+v", ref, first)
+			}
+			sys.Reset()
+			again := mustRun(t, sys, w)
+			if !again.Equal(ref) {
+				t.Fatalf("reset partitioned run differs from fresh:\nfresh: %+v\nreset: %+v", ref, again)
+			}
+		})
+	}
+}
+
+// TestPartitionedSteadyStateAllocs pins that keyed-mode execution adds
+// no per-event allocations: a warm partitioned system re-running a
+// workload (driven on the caller goroutine, the rotation-free path)
+// allocates no more than the warm sequential system does for the same
+// run. The event layer's TestGroupSteadyStateAllocationFree pins the
+// dispatch path at exactly 0 allocs/op; this guards the integration.
+func TestPartitionedSteadyStateAllocs(t *testing.T) {
+	cfg := testConfig()
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := spec.Build(workloads.Scale(0.01))
+	v := AllVariants()[0]
+
+	measure := func(sys *System) float64 {
+		// Warm twice: first run grows capacities, second confirms reuse.
+		for i := 0; i < 2; i++ {
+			mustRun(t, sys, w)
+			sys.Reset()
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := sys.Run(w); err != nil {
+				t.Fatal(err)
+			}
+			sys.Reset()
+		})
+	}
+
+	seq, err := NewSystem(cfg, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqAllocs := measure(seq)
+
+	sys, err := NewSystemWorkers(cfg, v, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the group on the caller goroutine: the rotation ring is the
+	// one documented per-run cost of CellWorkers > 1, and this test
+	// isolates the per-event engine path from it.
+	sys.CellWorkers = 1
+	partAllocs := measure(sys)
+
+	if partAllocs > seqAllocs {
+		t.Fatalf("warm partitioned run allocates more than sequential: %.1f vs %.1f allocs/op",
+			partAllocs, seqAllocs)
+	}
+}
+
+// TestPartitionedLookaheadDerivation pins the window derivation against
+// the declared cut-edge latencies: with the default cache geometry the
+// minimum bound is the 15-cycle tag-lookup latency, below the 30-cycle
+// directory hop and the 24-cycle NoC link.
+func TestPartitionedLookaheadDerivation(t *testing.T) {
+	seq, err := NewSystem(testConfig(), AllVariants()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la := seq.Lookahead(); la != 0 {
+		t.Fatalf("sequential system reports lookahead %d, want 0", la)
+	}
+	for _, tiles := range []int{1, 2} {
+		cfg := testConfig()
+		if tiles > 1 {
+			cfg = tiledConfig(tiles, noc.Crossbar)
+		}
+		sys, err := NewSystemWorkers(cfg, AllVariants()[0], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cfg.L1.LookupLatency
+		if cfg.L2.LookupLatency < want {
+			want = cfg.L2.LookupLatency
+		}
+		if la := sys.Lookahead(); la != want {
+			t.Fatalf("tiles=%d: derived lookahead %d, want %d", tiles, la, want)
+		}
+	}
+}
+
+// TestPartitionedPoolMismatch pins the option-vs-pool guard: a shared
+// pool built for sequential cells cannot serve a CellWorkers matrix.
+func TestPartitionedPoolMismatch(t *testing.T) {
+	cfg := testConfig()
+	specs := smallSpecs(t, "FwSoft")
+	pool := NewSystemPool(cfg)
+	_, err := RunMatrixWith(cfg, AllVariants()[:1], specs, testScale,
+		RunMatrixOpts{Pool: pool, CellWorkers: 2})
+	if err == nil {
+		t.Fatal("sequential pool accepted for a CellWorkers=2 matrix")
+	}
+}
+
+// TestPartitionedCellWorkersBounds pins the validated range surfaced to
+// micache/micached.
+func TestPartitionedCellWorkersBounds(t *testing.T) {
+	if _, err := NewSystemWorkers(testConfig(), AllVariants()[0], MaxCellWorkers+1); err == nil {
+		t.Fatalf("cell workers above MaxCellWorkers=%d accepted", MaxCellWorkers)
+	}
+	sys, err := NewSystemWorkers(testConfig(), AllVariants()[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.CellWorkers != 1 || sys.Group != nil {
+		t.Fatalf("cellWorkers=0 did not resolve to a sequential system: workers=%d group=%v",
+			sys.CellWorkers, sys.Group != nil)
+	}
+}

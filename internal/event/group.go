@@ -1,0 +1,352 @@
+package event
+
+// This file implements keyed (group) mode: several Sims — one per
+// simulation partition — coupled under a single global sequence counter
+// and driven by a SimGroup that fires their events in exact global
+// (cycle, sequence) order.
+//
+// # Why a global merge instead of free-running partitions
+//
+// The simulator's statistics are sensitive to the order in which
+// same-cycle events fire (DRAM FR-FCFS row-hit decisions, MSHR
+// coalescing, LRU touch order, port slot sequencing), and two of the
+// partition cut edges are zero-latency at the crossing point: a cache
+// forwards to its lower level only after spending its LookupLatency
+// internally, and a response's Done callback runs synchronously inside
+// the responder's event. Classic conservative PDES — every partition
+// free-running up to min(peer frontier)+lookahead — therefore cannot
+// reproduce the sequential wheel's byte-exact output: concurrent windows
+// would have to agree on a global same-cycle order they never observe.
+//
+// Keyed mode sidesteps this by construction. All member Sims draw event
+// sequence numbers from one shared counter, so as long as execution is
+// serialized (the SimGroup fires one event at a time, and the partition
+// runner rotates lookahead-sized windows across workers instead of
+// overlapping them), the numbering reproduces the exact order in which a
+// single shared wheel would have appended the same events — and firing
+// in (cycle, sequence) order replays the sequential schedule exactly.
+// Synchronous cross-partition calls (port submits, Done callbacks,
+// coherence hops) need no channels or stamping: the caller holds the
+// only execution token, and every member clock is advanced to the global
+// cycle before any event of that cycle fires, so Now() and Schedule()
+// behave identically to the single-Sim build.
+//
+// # The bucket order invariant the merge relies on
+//
+// Within one member wheel, every bucket's pending entries are always in
+// ascending sequence order: direct At appends strictly increase the
+// shared counter, and overflow spills cascade into a bucket (refill) at
+// the clock advance that brings their cycle inside the horizon — before
+// any direct append for that cycle can happen, and in (cycle, sequence)
+// heap order. The head entry of the earliest occupied bucket is thus the
+// member's minimum key, which Frontier caches; the group min over member
+// frontiers is the exact global next event.
+
+// atKeyed is At for a Sim in keyed mode: the event is stamped with the
+// group's next global sequence number and the number is stored alongside
+// the callback (wheelSeq mirrors wheel; overflow items carry seq
+// already). The frontier cache is tightened when the new event precedes
+// it; an invalid cache stays invalid and is recomputed by Frontier.
+func (s *Sim) atKeyed(t Cycle, fn Func) {
+	if !s.wheelReady {
+		s.initWheel()
+		s.initWheelSeq()
+	}
+	seq := s.shared.nextSeq()
+	if t-s.now < WheelSpan {
+		b := int(t) & wheelMask
+		s.wheel[b] = append(s.wheel[b], fn)
+		s.wheelSeq[b] = append(s.wheelSeq[b], seq)
+		s.occ[b>>6] |= 1 << (uint(b) & 63)
+		s.wheelLive++
+	} else {
+		s.overflow = append(s.overflow, item{at: t, seq: seq, fn: fn})
+		s.siftUp(len(s.overflow) - 1)
+	}
+	if s.fvalid && t < s.fcycle {
+		s.fcycle, s.fseq = t, seq
+	}
+	if n := s.wheelLive + len(s.overflow); n > s.maxLen {
+		s.maxLen = n
+	}
+}
+
+// initWheelSeq carves the per-bucket sequence-number slices from one
+// arena, exactly as initWheel does for the callback slices.
+func (s *Sim) initWheelSeq() {
+	arena := make([]uint64, 0, int(WheelSpan)*bucketSeedCap)
+	for i := range s.wheelSeq {
+		lo := i * bucketSeedCap
+		s.wheelSeq[i] = arena[lo : lo : lo+bucketSeedCap]
+	}
+}
+
+// checkKeyed guards the single-Sim drive entry points: a keyed Sim's
+// wheel is consumed through its SimGroup (Frontier/stepHead/advanceTo),
+// and driving it directly would desynchronize the sequence mirror.
+func (s *Sim) checkKeyed() {
+	if s.shared != nil {
+		panic("event: a keyed Sim is driven through its SimGroup, not Run/RunUntil/Step")
+	}
+}
+
+// Frontier returns the (cycle, sequence) key of this member's earliest
+// pending event, or ok=false when nothing is pending. Keyed mode only.
+// It may finalize the drained current-cycle bucket as a side effect; the
+// result is cached until the pending set changes.
+func (s *Sim) Frontier() (c Cycle, seq uint64, ok bool) {
+	if s.fvalid {
+		return s.fcycle, s.fseq, true
+	}
+	if s.wheelLive == 0 && len(s.overflow) == 0 {
+		return 0, 0, false
+	}
+	b := int(s.now) & wheelMask
+	if s.head < len(s.wheel[b]) {
+		s.fcycle, s.fseq, s.fvalid = s.now, s.wheelSeq[b][s.head], true
+		return s.fcycle, s.fseq, true
+	}
+	s.finalizeBucket(b)
+	t, ok := s.nextTime()
+	if !ok {
+		panic("event: frontier accounting corrupt (pending events but no next time)")
+	}
+	if s.wheelLive > 0 {
+		// The earliest occupied bucket's first entry is its minimum key
+		// (see the bucket order invariant above).
+		s.fcycle, s.fseq = t, s.wheelSeq[int(t)&wheelMask][0]
+	} else {
+		s.fcycle, s.fseq = t, s.overflow[0].seq
+	}
+	s.fvalid = true
+	return s.fcycle, s.fseq, true
+}
+
+// stepHead fires the single event at this member's frontier.
+// Preconditions, maintained by the SimGroup: the member clock sits at
+// the frontier cycle and the frontier event is the current bucket's head
+// entry (advanceTo has refilled any overflow spill due at this cycle).
+func (s *Sim) stepHead() {
+	b := int(s.now) & wheelMask
+	fn := s.wheel[b][s.head]
+	s.wheel[b][s.head] = nil // release the callback so it can be collected
+	s.head++
+	s.wheelLive--
+	s.fired++
+	if s.head < len(s.wheel[b]) {
+		s.fcycle, s.fseq, s.fvalid = s.now, s.wheelSeq[b][s.head], true
+	} else {
+		s.fvalid = false
+	}
+	fn()
+}
+
+// advanceTo moves a keyed member's clock to t, finalizing the drained
+// current-cycle bucket and pulling newly due overflow spills into the
+// wheel — the per-member half of a group clock advance. The SimGroup
+// guarantees no member has a pending event before t.
+func (s *Sim) advanceTo(t Cycle) {
+	if t <= s.now {
+		return
+	}
+	b := int(s.now) & wheelMask
+	if s.head < len(s.wheel[b]) {
+		panic("event: SimGroup advancing past pending events")
+	}
+	s.finalizeBucket(b)
+	s.now = t
+	s.refill()
+}
+
+// SimGroup couples the per-partition Sims of one partitioned simulation.
+// Members share one global sequence counter, and the group fires their
+// events one at a time in exact global (cycle, sequence) order, so a
+// partitioned run replays the event order — and therefore the statistics
+// — of the equivalent single-Sim run byte for byte. See the package
+// comment at the top of this file for why the merge is exact.
+//
+// A SimGroup is not safe for concurrent use; the partition runner in
+// internal/core serializes access by rotating an execution token across
+// its workers (channel hand-offs establish the happens-before edges the
+// race detector checks).
+type SimGroup struct {
+	sims []*Sim
+	seq  uint64
+	now  Cycle
+
+	// stop/stopped mirror Sim.SetStop: polled once per group clock
+	// advance and every stopPollInterval events inside a same-cycle
+	// cascade, so budget enforcement reaches a partitioned run with the
+	// same bounded overshoot as a sequential one.
+	stop      func() bool
+	stopped   bool
+	sinceStop int
+}
+
+// stopPollInterval bounds how many same-cycle events fire between stop
+// polls, mirroring the sequential engine's bucketCompactLen cadence.
+const stopPollInterval = bucketCompactLen
+
+// NewGroup returns a group of n fresh keyed Sims, all at cycle 0.
+func NewGroup(n int) *SimGroup {
+	if n < 1 {
+		panic("event: NewGroup needs at least one member")
+	}
+	g := &SimGroup{sims: make([]*Sim, n)}
+	for i := range g.sims {
+		g.sims[i] = &Sim{shared: g, wheelSeq: new([int(WheelSpan)][]uint64)}
+	}
+	return g
+}
+
+// nextSeq hands out the next global sequence number. Serialized
+// execution means member At calls happen in the same global order as on
+// a single shared wheel, so these numbers reproduce its append order.
+func (g *SimGroup) nextSeq() uint64 {
+	g.seq++
+	return g.seq
+}
+
+// Sims returns the member engines, in partition index order. Components
+// of partition i schedule on member i; the slice is owned by the group.
+func (g *SimGroup) Sims() []*Sim { return g.sims }
+
+// Now returns the group clock: the cycle of the last fired event.
+func (g *SimGroup) Now() Cycle { return g.now }
+
+// Fired returns the number of events executed across all members.
+func (g *SimGroup) Fired() uint64 {
+	var n uint64
+	for _, s := range g.sims {
+		n += s.fired
+	}
+	return n
+}
+
+// Pending returns the number of events waiting across all members.
+func (g *SimGroup) Pending() int {
+	n := 0
+	for _, s := range g.sims {
+		n += s.Pending()
+	}
+	return n
+}
+
+// SetStop installs (or, with nil, removes) the cooperative stop
+// condition, exactly as Sim.SetStop does for a sequential engine. The
+// condition is polled between events only, on whichever goroutine holds
+// the execution token.
+func (g *SimGroup) SetStop(stop func() bool) {
+	g.stop = stop
+	g.stopped = false
+	g.sinceStop = 0
+}
+
+// Stopped reports whether the most recent run returned early because the
+// stop condition fired.
+func (g *SimGroup) Stopped() bool { return g.stopped }
+
+// StopError returns an *ErrStopped describing the interrupted run (with
+// group-wide fired/pending totals), or nil when the group is not
+// stopped.
+func (g *SimGroup) StopError() *ErrStopped {
+	if !g.stopped {
+		return nil
+	}
+	return &ErrStopped{Clock: g.now, Fired: g.Fired(), Pending: g.Pending()}
+}
+
+func (g *SimGroup) checkStop() bool {
+	if g.stop != nil && g.stop() {
+		g.stopped = true
+	}
+	return g.stopped
+}
+
+// minFrontier returns the member holding the globally next event and
+// that event's cycle, or ok=false when every member is drained.
+func (g *SimGroup) minFrontier() (best int, bc Cycle, ok bool) {
+	best = -1
+	var bq uint64
+	for i, s := range g.sims {
+		c, q, sok := s.Frontier()
+		if !sok {
+			continue
+		}
+		if best < 0 || c < bc || (c == bc && q < bq) {
+			best, bc, bq = i, c, q
+		}
+	}
+	return best, bc, best >= 0
+}
+
+// RunWindow fires events in global order until the next event lies at or
+// beyond limit, the group drains, or the stop condition fires. It
+// reports whether events remain pending — true when stopping at the
+// window limit or on a stop, false when drained. When the next event
+// lies beyond the limit, the group clock jumps to that event's cycle
+// without firing it, so a RunWindow(Now()+window) rotation always makes
+// progress across event gaps wider than the window. Unlike Sim.Run it
+// does not clear a previous stop latch; SetStop (or Reset) does.
+func (g *SimGroup) RunWindow(limit Cycle) bool {
+	for {
+		i, c, ok := g.minFrontier()
+		if !ok {
+			return false
+		}
+		if c >= limit {
+			if c > g.now {
+				// Jump to the next event without firing it, keeping the
+				// member clocks synced to the group clock.
+				g.now = c
+				for _, s := range g.sims {
+					s.advanceTo(c)
+				}
+			}
+			return true
+		}
+		if c > g.now {
+			if g.checkStop() {
+				return true
+			}
+			g.sinceStop = 0
+			g.now = c
+			// Every member clock reaches the global cycle before any
+			// event of that cycle fires, so synchronous cross-partition
+			// calls observe the same Now() as a single shared wheel.
+			for _, s := range g.sims {
+				s.advanceTo(c)
+			}
+		} else if g.sinceStop++; g.sinceStop >= stopPollInterval {
+			g.sinceStop = 0
+			if g.checkStop() {
+				return true
+			}
+		}
+		g.sims[i].stepHead()
+	}
+}
+
+// Run executes events until every member drains and returns the final
+// group cycle. A stop condition (SetStop) interrupts it exactly as it
+// does Sim.Run; Stopped/StopError report the interruption.
+func (g *SimGroup) Run() Cycle {
+	g.stopped = false
+	g.RunWindow(^Cycle(0))
+	return g.now
+}
+
+// Reset returns the group and every member to the state of a freshly
+// built one, keeping grown capacities (see Sim.Reset). The shared
+// sequence counter rewinds with it, so a reset group renumbers an
+// identical run identically.
+func (g *SimGroup) Reset() {
+	for _, s := range g.sims {
+		s.Reset()
+	}
+	g.seq = 0
+	g.now = 0
+	g.stop = nil
+	g.stopped = false
+	g.sinceStop = 0
+}

@@ -1,0 +1,249 @@
+package event
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cascadeDriver replays one deterministic randomized event cascade on an
+// arbitrary set of engines. Each logical node, when fired, logs its id
+// and schedules a hash-derived set of children across the partitions —
+// same-cycle fan-out, short in-horizon delays, and past-horizon spills
+// are all exercised. Node ids are handed out in fire order, so the log
+// diverges at the first out-of-order event and the comparison below is
+// exact, not just aggregate.
+type cascadeDriver struct {
+	// sched schedules fn on partition p's engine.
+	sched  func(p int, delay Cycle, fn Func)
+	parts  int
+	nextID uint64
+	log    []uint64
+	live   int // cascade nodes not yet fired; bounds the run
+	limit  int
+}
+
+// mix is a splitmix64 step: a cheap deterministic hash so node behavior
+// depends only on the node id, never on engine internals.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+var cascadeDelays = []Cycle{0, 0, 1, 2, 3, 15, 50, 225, 511, 512, 600, 2048}
+
+func (d *cascadeDriver) spawn(p int, delay Cycle) {
+	id := d.nextID
+	d.nextID++
+	d.live++
+	d.sched(p, delay, func() { d.fire(id) })
+}
+
+func (d *cascadeDriver) fire(id uint64) {
+	d.live--
+	d.log = append(d.log, id)
+	if len(d.log) >= d.limit {
+		return // stop expanding; the scheduled remainder drains
+	}
+	h := mix(id)
+	children := int(h % 3) // 0..2 keeps the cascade near steady state
+	if d.live < 4 {
+		children = 2 // re-seed a thinning cascade
+	}
+	for k := 0; k < children; k++ {
+		hk := mix(h + uint64(k))
+		d.spawn(int(hk%uint64(d.parts)), cascadeDelays[hk>>8%uint64(len(cascadeDelays))])
+	}
+}
+
+// runCascadeSeq runs the cascade on one plain Sim (the oracle).
+func runCascadeSeq(parts, roots, limit int, rng *rand.Rand) (*cascadeDriver, Cycle, uint64) {
+	sim := New()
+	d := &cascadeDriver{parts: parts, limit: limit}
+	d.sched = func(_ int, delay Cycle, fn Func) { sim.Schedule(delay, fn) }
+	for i := 0; i < roots; i++ {
+		d.spawn(rng.Intn(parts), Cycle(rng.Intn(700)))
+	}
+	return d, sim.Run(), sim.Fired()
+}
+
+// runCascadeGroup runs the same cascade on a SimGroup with one member
+// per partition. window <= 0 drives via Run; otherwise via RunWindow
+// slices of that size (the partition runner's shape).
+func runCascadeGroup(parts, roots, limit int, rng *rand.Rand, window Cycle) (*cascadeDriver, *SimGroup) {
+	g := NewGroup(parts)
+	d := &cascadeDriver{parts: parts, limit: limit}
+	d.sched = func(p int, delay Cycle, fn Func) { g.Sims()[p].Schedule(delay, fn) }
+	for i := 0; i < roots; i++ {
+		d.spawn(rng.Intn(parts), Cycle(rng.Intn(700)))
+	}
+	if window <= 0 {
+		g.Run()
+	} else {
+		for g.RunWindow(g.Now() + window) {
+		}
+	}
+	return d, g
+}
+
+// TestGroupVsSingleRandomizedDifferential pins the keyed-mode contract:
+// a SimGroup over P partitions fires the exact event order a single
+// shared wheel produces, for random cascades and several window sizes.
+func TestGroupVsSingleRandomizedDifferential(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 5
+	}
+	rng := rand.New(rand.NewSource(0x9A57ED))
+	for it := 0; it < iters; it++ {
+		parts := 2 + rng.Intn(4)
+		roots := 1 + rng.Intn(8)
+		limit := 2000 + rng.Intn(4000)
+		seed := rng.Int63()
+
+		ref, refNow, refFired := runCascadeSeq(parts, roots, limit, rand.New(rand.NewSource(seed)))
+		for _, window := range []Cycle{0, 1, 15, 512, 5000} {
+			got, g := runCascadeGroup(parts, roots, limit, rand.New(rand.NewSource(seed)), window)
+			if len(got.log) != len(ref.log) {
+				t.Fatalf("iter %d window %d: fired %d events, sequential fired %d",
+					it, window, len(got.log), len(ref.log))
+			}
+			for i := range ref.log {
+				if got.log[i] != ref.log[i] {
+					t.Fatalf("iter %d window %d: order diverges at event %d: got node %d, want %d",
+						it, window, i, got.log[i], ref.log[i])
+				}
+			}
+			if g.Now() != refNow {
+				t.Fatalf("iter %d window %d: final clock %d, sequential %d", it, window, g.Now(), refNow)
+			}
+			if g.Fired() != refFired {
+				t.Fatalf("iter %d window %d: fired %d, sequential %d", it, window, g.Fired(), refFired)
+			}
+			if g.Pending() != 0 {
+				t.Fatalf("iter %d window %d: %d events still pending after drain", it, window, g.Pending())
+			}
+		}
+	}
+}
+
+// TestGroupResetEquivalence pins reset ≡ fresh for keyed engines: the
+// same cascade after a Reset replays the identical order, clock, and
+// sequence numbering.
+func TestGroupResetEquivalence(t *testing.T) {
+	const parts, roots, limit = 3, 4, 3000
+	const seed = 42
+	g := NewGroup(parts)
+	run := func() ([]uint64, Cycle) {
+		d := &cascadeDriver{parts: parts, limit: limit}
+		d.sched = func(p int, delay Cycle, fn Func) { g.Sims()[p].Schedule(delay, fn) }
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < roots; i++ {
+			d.spawn(rng.Intn(parts), Cycle(rng.Intn(700)))
+		}
+		return d.log, g.Run()
+	}
+	log1, now1 := run()
+	g.Reset()
+	if g.Now() != 0 || g.Fired() != 0 || g.Pending() != 0 {
+		t.Fatalf("reset group not pristine: now=%d fired=%d pending=%d", g.Now(), g.Fired(), g.Pending())
+	}
+	log2, now2 := run()
+	if now1 != now2 || len(log1) != len(log2) {
+		t.Fatalf("reset run differs: now %d vs %d, %d vs %d events", now1, now2, len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("reset run order diverges at %d", i)
+		}
+	}
+}
+
+// TestGroupStopCondition pins the cooperative-stop contract on groups:
+// the poll interrupts a run between events, StopError reports aggregate
+// fired/pending, and a subsequent Run resumes to completion.
+func TestGroupStopCondition(t *testing.T) {
+	const parts = 2
+	g := NewGroup(parts)
+	fired := 0
+	var reschedule func()
+	n := 0
+	reschedule = func() {
+		fired++
+		if n++; n < 5000 {
+			g.Sims()[n%parts].Schedule(1, reschedule)
+		}
+	}
+	g.Sims()[0].Schedule(0, reschedule)
+
+	const cut = 100
+	g.SetStop(func() bool { return g.Fired() >= cut })
+	g.Run()
+	if !g.Stopped() {
+		t.Fatal("stop condition did not interrupt the run")
+	}
+	se := g.StopError()
+	if se == nil || se.Fired < cut || se.Pending == 0 {
+		t.Fatalf("bad StopError: %+v", se)
+	}
+	if g.Fired() != uint64(fired) {
+		t.Fatalf("Fired()=%d, callbacks ran %d times", g.Fired(), fired)
+	}
+	g.SetStop(nil)
+	g.Run()
+	if g.Stopped() || g.Pending() != 0 || fired != 5000 {
+		t.Fatalf("resume incomplete: stopped=%v pending=%d fired=%d", g.Stopped(), g.Pending(), fired)
+	}
+}
+
+// TestGroupSteadyStateAllocationFree pins 0 allocs/op on the keyed
+// scheduling and dispatch path: a warm group ping-ponging events across
+// partitions (including same-cycle hand-offs) allocates nothing.
+func TestGroupSteadyStateAllocationFree(t *testing.T) {
+	const parts = 3
+	g := NewGroup(parts)
+	n := 0
+	var ping func()
+	ping = func() {
+		n++
+		delay := Cycle(n & 1) // alternate same-cycle and next-cycle
+		g.Sims()[n%parts].Schedule(delay, ping)
+	}
+	g.Sims()[0].Schedule(1, ping)
+	// Warm: one full wheel revolution plus overflow machinery.
+	for g.Now() < 2*WheelSpan {
+		if !g.RunWindow(g.Now() + 64) {
+			t.Fatal("cascade drained unexpectedly")
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if !g.RunWindow(g.Now() + 16) {
+			t.Fatal("cascade drained unexpectedly")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state group dispatch allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestKeyedSimDirectDrivePanics pins the guard: a keyed member must not
+// be driven around its group.
+func TestKeyedSimDirectDrivePanics(t *testing.T) {
+	g := NewGroup(2)
+	g.Sims()[0].Schedule(1, func() {})
+	for name, drive := range map[string]func(){
+		"Run":      func() { g.Sims()[0].Run() },
+		"RunUntil": func() { g.Sims()[0].RunUntil(10) },
+		"Step":     func() { g.Sims()[0].Step() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on a keyed Sim did not panic", name)
+				}
+			}()
+			drive()
+		}()
+	}
+}
