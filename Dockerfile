@@ -1,0 +1,17 @@
+# Build micached, the simulation-as-a-service server, into a minimal
+# image. The module is dependency-free, so the build stage needs nothing
+# beyond the toolchain and the final stage nothing beyond the binary.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY cmd/ cmd/
+COPY internal/ internal/
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/micached ./cmd/micached
+
+FROM alpine:3.20
+# wget ships in busybox and serves the compose healthcheck; no curl needed.
+RUN adduser -D -H micached
+USER micached
+COPY --from=build /out/micached /usr/local/bin/micached
+EXPOSE 8080
+ENTRYPOINT ["/usr/local/bin/micached"]

@@ -70,6 +70,12 @@ func run(args []string) error {
 	if *cellW < 1 || *cellW > core.MaxCellWorkers {
 		return fmt.Errorf("-cell-workers must be in 1..%d, got %d", core.MaxCellWorkers, *cellW)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = GOMAXPROCS), got %d", *workers)
+	}
+	if *window < 0 {
+		return fmt.Errorf("-window must be >= 0 (0 = timed replay), got %d", *window)
+	}
 
 	cfg := core.DefaultConfig()
 	if *cus > 0 {
@@ -78,15 +84,21 @@ func run(args []string) error {
 	if *tiles > 0 {
 		cfg.Topology.Tiles = *tiles
 	}
-	if *mesh {
-		cfg.Topology.Kind = noc.Mesh
-	}
 	if *topology != "" {
 		k, err := noc.ParseKind(*topology)
 		if err != nil {
 			return err
 		}
+		// -mesh is shorthand for -topology mesh; naming two different
+		// interconnects in one command is a contradiction, not a
+		// precedence question, so refuse it instead of silently letting
+		// one flag win.
+		if *mesh && k != noc.Mesh {
+			return fmt.Errorf("-mesh conflicts with -topology %s: pick one interconnect", k)
+		}
 		cfg.Topology.Kind = k
+	} else if *mesh {
+		cfg.Topology.Kind = noc.Mesh
 	}
 	sc := workloads.Scale(*scale)
 	out := os.Stdout

@@ -1,26 +1,40 @@
 // Command micached serves the simulator over HTTP: POST a (workload,
 // policy, scale) cell to /run and get the statistics snapshot back as
-// JSON. It exists for sweeping experiments from scripts and notebooks
-// without paying a process start (and system construction) per cell —
-// a warm SystemPool is shared across requests.
+// JSON, or POST a sweep selection to /matrix and watch it stream
+// per-cell progress as server-sent events. It exists for sweeping
+// experiments from scripts and notebooks without paying a process
+// start (and system construction) per cell — a warm SystemPool is
+// shared across requests.
+//
+// Results are cached: the simulator is deterministic, so the canonical
+// (workload, variant, scale, topology) tuple content-addresses its
+// snapshot, and repeated requests are served from an LRU without
+// simulating. Concurrent identical misses collapse into one run
+// (single-flight). The X-Micached-Cache response header reports
+// hit/miss, and GET /metrics exposes the server, cache, and pool
+// counters in Prometheus text format.
 //
 // Every run is bounded: requests carry the server's wall-clock timeout,
 // event budget, and livelock watchdog (see internal/core.Budgets), so a
 // wedged or runaway cell returns a structured 504 instead of pinning a
 // worker forever. Admission is bounded too: at most MICACHED_WORKERS
 // cells simulate concurrently, at most MICACHED_QUEUE more may wait,
-// and everything beyond that is refused with 429 immediately.
+// and everything beyond that is refused with 429 immediately. A client
+// that disconnects mid-run stops its simulation cooperatively and is
+// logged (and counted) as a 499, not an error.
 //
 // Configuration is environment-only (one binary, no flags):
 //
-//	MICACHED_ADDR        listen address          (default :8080)
-//	MICACHED_WORKERS     concurrent simulations  (default GOMAXPROCS)
-//	MICACHED_QUEUE       admission queue depth   (default 64)
-//	MICACHED_TIMEOUT     per-run wall budget     (default 30s, 0 = none)
-//	MICACHED_MAX_EVENTS  per-run event budget    (default 0 = none)
-//	MICACHED_WATCHDOG    stall detector interval (default 5s, 0 = off)
-//	MICACHED_MAX_SCALE   largest accepted scale  (default 1.0)
-//	MICACHED_CUS         compute-unit override   (default Table 1's 64)
+//	MICACHED_ADDR           listen address          (default :8080)
+//	MICACHED_WORKERS        concurrent simulations  (default GOMAXPROCS)
+//	MICACHED_QUEUE          admission queue depth   (default 64)
+//	MICACHED_TIMEOUT        per-run wall budget     (default 30s, 0 = none)
+//	MICACHED_MAX_EVENTS     per-run event budget    (default 0 = none)
+//	MICACHED_WATCHDOG       stall detector interval (default 5s, 0 = off)
+//	MICACHED_MAX_SCALE      largest accepted scale  (default 1.0)
+//	MICACHED_CUS            compute-unit override   (default Table 1's 64)
+//	MICACHED_CACHE_ENTRIES  result-cache capacity   (default 512, 0 = off)
+//	MICACHED_CACHE_BYTES    result-cache byte bound (default 64MiB, 0 = none)
 //
 // SIGTERM or SIGINT drains gracefully: /healthz flips to 503 so load
 // balancers stop routing, in-flight runs finish (bounded by their own
@@ -88,21 +102,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cacheEntries, err := envInt("MICACHED_CACHE_ENTRIES", 512)
+	if err != nil {
+		return err
+	}
+	cacheBytes, err := envInt("MICACHED_CACHE_BYTES", 64<<20)
+	if err != nil {
+		return err
+	}
 	if workers < 1 || queue < 0 {
 		return fmt.Errorf("MICACHED_WORKERS must be >= 1 and MICACHED_QUEUE >= 0")
 	}
 	if !(maxScale > 0) || math.IsInf(maxScale, 0) {
 		return fmt.Errorf("MICACHED_MAX_SCALE must be positive and finite")
 	}
+	if cacheEntries < 0 || cacheBytes < 0 {
+		return fmt.Errorf("MICACHED_CACHE_ENTRIES and MICACHED_CACHE_BYTES must be >= 0")
+	}
 
 	srv := newServer(cfg, serverOpts{
-		Workers:   workers,
-		Queue:     queue,
-		Timeout:   timeout,
-		MaxEvents: maxEvents,
-		Watchdog:  watchdog,
-		MaxScale:  maxScale,
-		Log:       logger,
+		Workers:      workers,
+		Queue:        queue,
+		Timeout:      timeout,
+		MaxEvents:    maxEvents,
+		Watchdog:     watchdog,
+		MaxScale:     maxScale,
+		CacheEntries: cacheEntries,
+		CacheBytes:   int64(cacheBytes),
+		Log:          logger,
 	})
 
 	addr := os.Getenv("MICACHED_ADDR")
@@ -121,7 +148,8 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("micached listening", "addr", addr, "workers", workers, "queue", queue,
-		"timeout", timeout, "maxEvents", maxEvents, "watchdog", watchdog)
+		"timeout", timeout, "maxEvents", maxEvents, "watchdog", watchdog,
+		"cacheEntries", cacheEntries, "cacheBytes", cacheBytes)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// handleMetrics exposes the server's operational counters in Prometheus
+// text exposition format. Everything here is either an atomic counter
+// (metrics.Counter accumulated at event sites) or a gauge read live
+// from the server's own state, so the scrape itself costs nothing and
+// takes no locks beyond the cache's size accessors.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "GET only"})
+		return
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	ms := []metrics.Metric{
+		{Name: "micached_run_requests_total", Help: "POST requests reaching /run.",
+			Kind: metrics.KindCounter, Value: float64(s.m.runRequests.Load())},
+		{Name: "micached_matrix_requests_total", Help: "POST requests reaching /matrix.",
+			Kind: metrics.KindCounter, Value: float64(s.m.matrixRequests.Load())},
+		{Name: "micached_refused_total", Help: "Requests refused at admission (HTTP 429).",
+			Kind: metrics.KindCounter, Value: float64(s.m.refused.Load())},
+		{Name: "micached_timeouts_total", Help: "Runs stopped by a server budget (HTTP 504).",
+			Kind: metrics.KindCounter, Value: float64(s.m.timeouts.Load())},
+		{Name: "micached_errors_total", Help: "Internal failures: panics, deadlocks, build errors (HTTP 500).",
+			Kind: metrics.KindCounter, Value: float64(s.m.internalErrors.Load())},
+		{Name: "micached_client_gone_total", Help: "Requests whose client disconnected mid-run (HTTP 499).",
+			Kind: metrics.KindCounter, Value: float64(s.m.clientGone.Load())},
+		{Name: "micached_queue_depth", Help: "Requests currently waiting for a worker slot.",
+			Kind: metrics.KindGauge, Value: float64(s.queued.Load())},
+		{Name: "micached_inflight", Help: "Admitted requests currently running.",
+			Kind: metrics.KindGauge, Value: float64(s.inflight.Load())},
+		{Name: "micached_draining", Help: "1 while the server is draining for shutdown.",
+			Kind: metrics.KindGauge, Value: b2f(s.draining.Load())},
+	}
+	if s.cache != nil {
+		hits, misses, evictions := s.cache.Counters()
+		ms = append(ms,
+			metrics.Metric{Name: "micached_cache_hits_total", Help: "Result-cache hits (including single-flight followers).",
+				Kind: metrics.KindCounter, Value: float64(hits)},
+			metrics.Metric{Name: "micached_cache_misses_total", Help: "Result-cache misses (simulations actually run).",
+				Kind: metrics.KindCounter, Value: float64(misses)},
+			metrics.Metric{Name: "micached_cache_evictions_total", Help: "Result-cache entries evicted by the entry or byte bound.",
+				Kind: metrics.KindCounter, Value: float64(evictions)},
+			metrics.Metric{Name: "micached_cache_entries", Help: "Result-cache resident entries.",
+				Kind: metrics.KindGauge, Value: float64(s.cache.Len())},
+			metrics.Metric{Name: "micached_cache_bytes", Help: "Result-cache accounted bytes.",
+				Kind: metrics.KindGauge, Value: float64(s.cache.Bytes())},
+		)
+	}
+	built, reused := s.pool.Counts()
+	ms = append(ms,
+		metrics.Metric{Name: "micached_pool_gets_total", Help: "Systems handed out by the warm pool (built + reused).",
+			Kind: metrics.KindCounter, Value: float64(s.pool.Gets())},
+		metrics.Metric{Name: "micached_pool_puts_total", Help: "Systems returned to the warm pool (and reset).",
+			Kind: metrics.KindCounter, Value: float64(s.pool.Puts())},
+		metrics.Metric{Name: "micached_pool_built_total", Help: "Systems constructed from scratch by the pool.",
+			Kind: metrics.KindCounter, Value: float64(built)},
+		metrics.Metric{Name: "micached_pool_reused_total", Help: "Pool gets served by a recycled warm system.",
+			Kind: metrics.KindCounter, Value: float64(reused)},
+	)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WriteText(w, ms)
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,14 +9,22 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/noc"
+	"repro/internal/resultcache"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
+
+// statusClientClosedRequest is nginx's 499: the client went away before
+// the response. The writer is dead, so the status is for the access log
+// and the handler's own bookkeeping, not the client.
+const statusClientClosedRequest = 499
 
 // server runs simulation cells from a shared warm SystemPool with
 // bounded concurrency and bounded queueing. The zero value is not
@@ -24,6 +33,11 @@ type server struct {
 	cfg  core.Config
 	pool *core.SystemPool
 	log  *slog.Logger
+
+	// cache serves repeat requests from memory: the simulator is
+	// deterministic, so the canonical request tuple is a content
+	// address for the snapshot. nil = caching disabled.
+	cache *resultcache.Cache
 
 	// sem holds one slot per concurrent simulation; queueMax bounds
 	// how many acquirers may block on it before new arrivals are
@@ -39,10 +53,27 @@ type server struct {
 	watchdog  time.Duration
 	maxScale  float64
 
+	m serverMetrics
+
 	// runFn is (*core.System).RunBudgeted in production; tests swap it
 	// to control timing (backpressure, drain) and failure injection
-	// (panic isolation) deterministically.
+	// (panic isolation, cancellation) deterministically.
 	runFn func(*core.System, workloads.Workload, core.Budgets) (stats.Snapshot, error)
+	// matrixFn is core.RunMatrixWith in production; tests swap it to
+	// drive the SSE stream deterministically.
+	matrixFn func(core.Config, []core.Variant, []workloads.Spec, workloads.Scale, core.RunMatrixOpts) ([]core.Result, error)
+}
+
+// serverMetrics holds the server-level counters /metrics exposes.
+// Queue depth, inflight, and drain state are read live from the
+// server's own atomics; everything event-shaped accumulates here.
+type serverMetrics struct {
+	runRequests    metrics.Counter // POSTs reaching /run
+	matrixRequests metrics.Counter // POSTs reaching /matrix
+	refused        metrics.Counter // 429: admission refused
+	timeouts       metrics.Counter // 504: budget trips
+	internalErrors metrics.Counter // 500: panics, deadlocks, build failures
+	clientGone     metrics.Counter // 499: client disconnected mid-run
 }
 
 type serverOpts struct {
@@ -52,17 +83,27 @@ type serverOpts struct {
 	MaxEvents uint64
 	Watchdog  time.Duration
 	MaxScale  float64
-	Log       *slog.Logger
+	// CacheEntries bounds the result cache; 0 disables caching (and the
+	// X-Micached-Cache header). CacheBytes additionally bounds the
+	// accounted snapshot bytes when positive.
+	CacheEntries int
+	CacheBytes   int64
+	Log          *slog.Logger
 }
 
 func newServer(cfg core.Config, o serverOpts) *server {
 	if o.Log == nil {
 		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	var rc *resultcache.Cache
+	if o.CacheEntries > 0 {
+		rc = resultcache.New(o.CacheEntries, o.CacheBytes)
+	}
 	return &server{
 		cfg:       cfg,
 		pool:      core.NewSystemPool(cfg),
 		log:       o.Log,
+		cache:     rc,
 		sem:       make(chan struct{}, o.Workers),
 		queueMax:  int64(o.Queue),
 		timeout:   o.Timeout,
@@ -70,12 +111,15 @@ func newServer(cfg core.Config, o serverOpts) *server {
 		watchdog:  o.Watchdog,
 		maxScale:  o.MaxScale,
 		runFn:     (*core.System).RunBudgeted,
+		matrixFn:  core.RunMatrixWith,
 	}
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/matrix", s.handleMatrix)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -123,9 +167,16 @@ type runResponse struct {
 type errResponse struct {
 	Error  string `json:"error"`
 	Reason string `json:"reason,omitempty"`
-	Fired  uint64 `json:"events_fired,omitempty"`
-	Clock  uint64 `json:"clock,omitempty"`
+	// Fired and Clock are pointers so a budget trip or deadlock caught
+	// at events_fired/clock 0 still serializes its diagnostics
+	// ("events_fired":0) instead of silently dropping the fields, while
+	// plain request errors omit them entirely.
+	Fired *uint64 `json:"events_fired,omitempty"`
+	Clock *uint64 `json:"clock,omitempty"`
 }
+
+// u64p boxes a diagnostic counter for errResponse.
+func u64p(v uint64) *uint64 { return &v }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -141,12 +192,69 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// cacheKey canonicalizes the tuple that addresses one cell result:
+// workload, variant, scale, and the resolved topology. cell_workers is
+// deliberately excluded — partitioned runs are byte-identical to
+// sequential by contract (the partition differential tests pin it), so
+// every worker count shares one cache line. The topology is keyed
+// after WithDefaults, so tiles omitted, tiles:1, and an explicit
+// direct topology all address the same result. The server's base
+// Config (CU count etc.) is fixed for the process, so it needs no key
+// component.
+func cacheKey(workload, variant string, scale float64, topo noc.Config) string {
+	t := topo.WithDefaults()
+	return stats.CanonicalKey(
+		"w", workload,
+		"v", variant,
+		"s", stats.KeyFloat(scale),
+		"tiles", strconv.Itoa(t.Tiles),
+		"topo", t.Kind.String(),
+	)
+}
+
+// admit reserves a worker slot, waiting in the bounded queue when the
+// workers are busy. It reports false after writing the refusal (429) or
+// cancellation (503) response; on true the caller owns one sem slot and
+// must release it.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
+	// Admission: take a worker slot if one is free; otherwise wait in
+	// the bounded queue. Anything beyond queue capacity is refused NOW
+	// — a client retrying against an overloaded server should back
+	// off, not stack up goroutines.
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.queued.Add(1) > s.queueMax {
+		s.queued.Add(-1)
+		s.m.refused.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errResponse{Error: "server saturated: worker and queue slots full"})
+		return false
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+		return true
+	case <-r.Context().Done():
+		s.queued.Add(-1)
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "canceled while queued"})
+		return false
+	}
+}
+
+// errRunAbandoned resolves a flight whose leader bailed before running
+// (refused admission, pool failure): waiters see it and retry.
+var errRunAbandoned = errors.New("micached: leader abandoned the run before completion")
+
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errResponse{Error: "POST only"})
 		return
 	}
+	s.m.runRequests.Inc()
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "server is draining"})
 		return
@@ -209,27 +317,54 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Admission: take a worker slot if one is free; otherwise wait in
-	// the bounded queue. Anything beyond queue capacity is refused NOW
-	// — a client retrying against an overloaded server should back
-	// off, not stack up goroutines.
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		if s.queued.Add(1) > s.queueMax {
-			s.queued.Add(-1)
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errResponse{Error: "server saturated: worker and queue slots full"})
+	// Cache resolution: a hit is served before any admission or pool
+	// traffic; a miss elects this request the key's single-flight
+	// leader, so concurrent identical requests wait on this run instead
+	// of each burning a worker slot on the same simulation.
+	var fl *resultcache.Flight
+	key := cacheKey(spec.Name, v.Label, req.Scale, cfg.Topology)
+	if s.cache != nil {
+		for {
+			snap, hit, f, leader := s.cache.Acquire(key)
+			if hit {
+				s.writeRunResponse(w, req, cfg, topoCustom, cellWorkers, snap, 0, "hit")
+				return
+			}
+			if leader {
+				fl = f
+				break
+			}
+			snap, err := f.Wait(r.Context())
+			if err == nil {
+				s.writeRunResponse(w, req, cfg, topoCustom, cellWorkers, snap, 0, "hit")
+				return
+			}
+			if r.Context().Err() != nil {
+				s.m.clientGone.Inc()
+				s.log.Info("client disconnected while collapsed on a flight",
+					"workload", req.Workload, "variant", req.Variant)
+				writeJSON(w, statusClientClosedRequest, errResponse{Error: "client closed request"})
+				return
+			}
+			// The leader failed (budget, panic, abandonment): loop and
+			// contend for leadership of a fresh attempt.
+		}
+	}
+	flightDone := false
+	finish := func(snap stats.Snapshot, err error) {
+		if fl == nil || flightDone {
 			return
 		}
-		select {
-		case s.sem <- struct{}{}:
-			s.queued.Add(-1)
-		case <-r.Context().Done():
-			s.queued.Add(-1)
-			writeJSON(w, http.StatusServiceUnavailable, errResponse{Error: "canceled while queued"})
-			return
-		}
+		flightDone = true
+		s.cache.Complete(fl, snap, err)
+	}
+	// Any early return below (refused admission, build failure) must
+	// release the waiters; completed runs overwrite this with the real
+	// outcome before the defer fires.
+	defer finish(stats.Snapshot{}, errRunAbandoned)
+
+	if !s.admit(w, r) {
+		return
 	}
 	defer func() { <-s.sem }()
 
@@ -247,6 +382,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		sys, err = s.pool.Get(v)
 	}
 	if err != nil {
+		s.m.internalErrors.Inc()
 		writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
 		return
 	}
@@ -270,29 +406,18 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	case panicked:
 		// The system's state is unknown; abandon it to the GC rather
 		// than re-pool it. The server itself keeps serving.
+		finish(stats.Snapshot{}, runErr)
+		s.m.internalErrors.Inc()
 		s.log.Error("run panicked", "workload", req.Workload, "variant", req.Variant, "err", runErr)
 		writeJSON(w, http.StatusInternalServerError, errResponse{Error: runErr.Error()})
 	case runErr == nil:
 		if !freshSystem {
 			s.pool.Put(sys)
 		}
-		resp := runResponse{
-			Workload:    req.Workload,
-			Variant:     req.Variant,
-			Scale:       req.Scale,
-			CellWorkers: cellWorkers,
-			ElapsedMS:   float64(elapsed.Microseconds()) / 1e3,
-			GVOPS:       snap.GVOPS(s.cfg.GPUClockMHz),
-			GMRs:        snap.GMRs(s.cfg.GPUClockMHz),
-			Snapshot:    snap,
-		}
-		if topoCustom {
-			t := cfg.Topology.WithDefaults()
-			resp.Tiles = t.Tiles
-			resp.Topology = t.Kind.String()
-		}
-		writeJSON(w, http.StatusOK, resp)
+		finish(snap, nil)
+		s.writeRunResponse(w, req, cfg, topoCustom, cellWorkers, snap, elapsed, "miss")
 	default:
+		finish(stats.Snapshot{}, runErr)
 		var be *core.ErrBudgetExceeded
 		var dl *core.ErrDeadlock
 		switch {
@@ -304,28 +429,73 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			if !freshSystem {
 				s.pool.Put(sys)
 			}
+			if errors.Is(runErr, context.Canceled) {
+				// Budgets.Ctx is the request context, so this is the
+				// client hanging up mid-run — routine, not a budget
+				// problem. The writer is dead; the 499 is for the
+				// access log and the metrics, not the client.
+				s.m.clientGone.Inc()
+				s.log.Info("client disconnected mid-run", "workload", req.Workload,
+					"variant", req.Variant, "fired", be.Fired, "elapsed", elapsed)
+				writeJSON(w, statusClientClosedRequest, errResponse{
+					Error:  "client closed request",
+					Reason: string(be.Reason),
+					Fired:  u64p(be.Fired),
+					Clock:  u64p(uint64(be.Clock)),
+				})
+				return
+			}
+			s.m.timeouts.Inc()
 			s.log.Warn("run over budget", "workload", req.Workload, "variant", req.Variant,
 				"reason", be.Reason, "fired", be.Fired, "elapsed", elapsed)
 			writeJSON(w, http.StatusGatewayTimeout, errResponse{
 				Error:  runErr.Error(),
 				Reason: string(be.Reason),
-				Fired:  be.Fired,
-				Clock:  uint64(be.Clock),
+				Fired:  u64p(be.Fired),
+				Clock:  u64p(uint64(be.Clock)),
 			})
 		case errors.As(runErr, &dl):
 			// A deadlock means the model misbehaved; the system's
 			// state is not trusted for reuse.
+			s.m.internalErrors.Inc()
 			s.log.Error("run deadlocked", "workload", req.Workload, "variant", req.Variant,
 				"clock", dl.Clock, "fired", dl.Fired, "pending", dl.Pending)
 			writeJSON(w, http.StatusInternalServerError, errResponse{
 				Error: runErr.Error(),
-				Fired: dl.Fired,
-				Clock: uint64(dl.Clock),
+				Fired: u64p(dl.Fired),
+				Clock: u64p(uint64(dl.Clock)),
 			})
 		default:
+			s.m.internalErrors.Inc()
 			writeJSON(w, http.StatusInternalServerError, errResponse{Error: runErr.Error()})
 		}
 	}
+}
+
+// writeRunResponse renders a successful /run result. source is "hit"
+// or "miss"; the X-Micached-Cache header is only sent when caching is
+// enabled, so its presence always means the cache was consulted.
+func (s *server) writeRunResponse(w http.ResponseWriter, req runRequest, cfg core.Config,
+	topoCustom bool, cellWorkers int, snap stats.Snapshot, elapsed time.Duration, source string) {
+	if s.cache != nil {
+		w.Header().Set("X-Micached-Cache", source)
+	}
+	resp := runResponse{
+		Workload:    req.Workload,
+		Variant:     req.Variant,
+		Scale:       req.Scale,
+		CellWorkers: cellWorkers,
+		ElapsedMS:   elapsed.Seconds() * 1e3,
+		GVOPS:       snap.GVOPS(s.cfg.GPUClockMHz),
+		GMRs:        snap.GMRs(s.cfg.GPUClockMHz),
+		Snapshot:    snap,
+	}
+	if topoCustom {
+		t := cfg.Topology.WithDefaults()
+		resp.Tiles = t.Tiles
+		resp.Topology = t.Kind.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runIsolated runs one cell, converting a panic into an error so one

@@ -491,7 +491,7 @@ func TestBudgetExceededResponse(t *testing.T) {
 	if err := json.Unmarshal(body, &er); err != nil {
 		t.Fatalf("bad error JSON: %v\n%s", err, body)
 	}
-	if er.Reason != "max-events" || er.Fired < 50 || er.Clock == 0 {
+	if er.Reason != "max-events" || er.Fired == nil || *er.Fired < 50 || er.Clock == nil || *er.Clock == 0 {
 		t.Fatalf("error diagnostics = %+v, want reason=max-events fired>=50 clock>0", er)
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/workloads"
 )
 
@@ -23,10 +24,15 @@ type SystemPool struct {
 	cfg         Config
 	cellWorkers int
 
-	mu     sync.Mutex
-	free   map[Variant][]*System
-	built  uint64
-	reused uint64
+	mu   sync.Mutex
+	free map[Variant][]*System
+
+	// built/reused/puts are metrics-grade atomic counters so a serving
+	// layer can export pool traffic (/metrics) without core importing
+	// any HTTP machinery; internal/metrics is dependency-free.
+	built  metrics.Counter
+	reused metrics.Counter
+	puts   metrics.Counter
 }
 
 // NewSystemPool builds an empty pool whose systems use cfg. The
@@ -59,8 +65,8 @@ func (p *SystemPool) Get(v Variant) (*System, error) {
 		s := ss[n-1]
 		ss[n-1] = nil
 		p.free[v] = ss[:n-1]
-		p.reused++
 		p.mu.Unlock()
+		p.reused.Inc()
 		return s, nil
 	}
 	p.mu.Unlock()
@@ -69,9 +75,7 @@ func (p *SystemPool) Get(v Variant) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	p.built++
-	p.mu.Unlock()
+	p.built.Inc()
 	return s, nil
 }
 
@@ -89,15 +93,21 @@ func (p *SystemPool) Put(s *System) {
 	p.mu.Lock()
 	p.free[s.Variant] = append(p.free[s.Variant], s)
 	p.mu.Unlock()
+	p.puts.Inc()
 }
 
 // Counts reports how many systems the pool has constructed and how many
 // Get calls were served by reuse (benchmarks and tests).
 func (p *SystemPool) Counts() (built, reused uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.built, p.reused
+	return p.built.Load(), p.reused.Load()
 }
+
+// Gets reports the total systems handed out (built + reused); with
+// Puts it exposes pool traffic for operational metrics.
+func (p *SystemPool) Gets() uint64 { return p.built.Load() + p.reused.Load() }
+
+// Puts reports how many systems have been returned (and reset).
+func (p *SystemPool) Puts() uint64 { return p.puts.Load() }
 
 // runCell executes one (spec, variant) cell on a pooled system. On
 // success the system goes back to the pool. A budget-interrupted cell's

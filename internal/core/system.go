@@ -474,6 +474,20 @@ type RunMatrixOpts struct {
 	// cells. A caller-supplied Pool must have been built with the same
 	// cell-worker count (NewSystemPoolWorkers).
 	CellWorkers int
+	// Lookup, if non-nil, is consulted before each cell simulates.
+	// Returning ok=true serves the cell from the returned snapshot —
+	// no pool Get, no simulation — which is how a serving layer makes
+	// sweeps cache-aware: the simulator is deterministic, so a cached
+	// snapshot for the same (spec, variant, scale, config) tuple is
+	// byte-identical to a fresh run's. Calls may come from worker
+	// goroutines concurrently; the callback must be concurrency-safe.
+	Lookup func(spec workloads.Spec, v Variant) (stats.Snapshot, bool)
+	// OnCell, if non-nil, is called after each successfully completed
+	// cell with its Result, whether Lookup served it, and the progress
+	// counts — the per-cell identity that Progress's bare (done, total)
+	// lacks, so streaming consumers (SSE) can narrate the sweep. Calls
+	// are serialized, like Progress, and share its ordering.
+	OnCell func(r Result, cached bool, done, total int)
 }
 
 // cellWorkers resolves the per-cell worker count these options request.
@@ -539,6 +553,19 @@ func wrapCellErr(workload, variant string, err error) error {
 	return fmt.Errorf("core: %s under %s: %w", workload, variant, err)
 }
 
+// lookupCell consults an optional RunMatrixOpts.Lookup for a cell,
+// assembling the full Result around the cached snapshot on a hit.
+func lookupCell(lookup func(workloads.Spec, Variant) (stats.Snapshot, bool), spec workloads.Spec, v Variant) (Result, bool) {
+	if lookup == nil {
+		return Result{}, false
+	}
+	snap, ok := lookup(spec, v)
+	if !ok {
+		return Result{}, false
+	}
+	return Result{Workload: spec.Name, Class: spec.Class, Variant: v.Label, Snap: snap}, true
+}
+
 func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workloads.Scale, opts RunMatrixOpts) ([]Result, error) {
 	type cell struct {
 		spec workloads.Spec
@@ -580,20 +607,27 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 					return nil, fmt.Errorf("core: %s under %s skipped: %w", c.spec.Name, c.v.Label, err)
 				}
 			}
-			r, err := func() (Result, error) {
-				defer func() {
-					if p := recover(); p != nil {
-						panic(CellPanic{Workload: c.spec.Name, Variant: c.v.Label, Value: p})
-					}
+			r, cached := lookupCell(opts.Lookup, c.spec, c.v)
+			if !cached {
+				var err error
+				r, err = func() (Result, error) {
+					defer func() {
+						if p := recover(); p != nil {
+							panic(CellPanic{Workload: c.spec.Name, Variant: c.v.Label, Value: p})
+						}
+					}()
+					return runCell(pool, c.v, c.spec, scale, budgets)
 				}()
-				return runCell(pool, c.v, c.spec, scale, budgets)
-			}()
-			if err != nil {
-				return nil, wrapCellErr(c.spec.Name, c.v.Label, err)
+				if err != nil {
+					return nil, wrapCellErr(c.spec.Name, c.v.Label, err)
+				}
 			}
 			out = append(out, r)
 			if opts.Progress != nil {
 				opts.Progress(i+1, total)
+			}
+			if opts.OnCell != nil {
+				opts.OnCell(r, cached, i+1, total)
 			}
 		}
 		if opts.TotalsOut != nil {
@@ -642,26 +676,38 @@ func RunMatrixWith(cfg Config, vs []Variant, specs []workloads.Spec, scale workl
 				// re-raised on the calling goroutine below — wrapped in
 				// CellPanic so the failing cell is identifiable from the
 				// panic message alone.
+				var cellResult Result
+				var cached, ok bool
 				func() {
 					defer func() {
 						if p := recover(); p != nil {
 							panics[i] = CellPanic{Workload: c.spec.Name, Variant: c.v.Label, Value: p}
 						}
 					}()
-					r, err := runCell(pool, c.v, c.spec, scale, budgets)
-					if err != nil {
-						errs[i] = wrapCellErr(c.spec.Name, c.v.Label, err)
-					} else {
-						results[i] = r
-						if opts.TotalsOut != nil {
-							slab.Add(r.Snap)
+					r, hit := lookupCell(opts.Lookup, c.spec, c.v)
+					if !hit {
+						var err error
+						r, err = runCell(pool, c.v, c.spec, scale, budgets)
+						if err != nil {
+							errs[i] = wrapCellErr(c.spec.Name, c.v.Label, err)
+							return
 						}
 					}
+					results[i] = r
+					cellResult, cached, ok = r, hit, true
+					if opts.TotalsOut != nil {
+						slab.Add(r.Snap)
+					}
 				}()
-				if opts.Progress != nil {
+				if opts.Progress != nil || opts.OnCell != nil {
 					progressMu.Lock()
 					progressDone++
-					opts.Progress(progressDone, total)
+					if opts.Progress != nil {
+						opts.Progress(progressDone, total)
+					}
+					if opts.OnCell != nil && ok {
+						opts.OnCell(cellResult, cached, progressDone, total)
+					}
 					progressMu.Unlock()
 				}
 			}

@@ -1,0 +1,89 @@
+// Package metrics provides dependency-free atomic counters and gauges
+// plus a Prometheus-text-format renderer. It exists so simulation-side
+// packages (internal/core's SystemPool, the result cache) can report
+// operational counters without importing any HTTP machinery: they
+// expose metrics.Counter values, and the serving layer (cmd/micached)
+// collects them into []Metric and renders the exposition text.
+//
+// Only the fraction of the Prometheus exposition format the server
+// needs is implemented: untyped-free counters and gauges, one sample
+// per family, no labels. That keeps the package at zero dependencies
+// and a few dozen lines, which is the point.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can move both ways
+// (queue depth, inflight runs, cache occupancy). The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Kind is the Prometheus metric type of one family.
+type Kind uint8
+
+const (
+	// KindCounter renders as "# TYPE name counter".
+	KindCounter Kind = iota
+	// KindGauge renders as "# TYPE name gauge".
+	KindGauge
+)
+
+func (k Kind) String() string {
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Metric is one sample ready for WriteText: a family name, its help
+// line, its kind, and the current value. Values are float64 because
+// that is what the exposition format carries; counters above 2^53
+// would lose precision, far beyond anything a simulation server
+// accumulates.
+type Metric struct {
+	Name  string
+	Help  string
+	Kind  Kind
+	Value float64
+}
+
+// WriteText renders the samples in Prometheus text exposition format
+// (version 0.0.4): a HELP and TYPE comment per family followed by the
+// sample line. Families render in the order given.
+func WriteText(w io.Writer, ms []Metric) error {
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %s\n",
+			m.Name, m.Help, m.Name, m.Kind, m.Name,
+			strconv.FormatFloat(m.Value, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

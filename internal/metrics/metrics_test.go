@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(100)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1100 {
+		t.Fatalf("Counter = %d, want %d", got, 8*1100)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	g.Add(4)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Gauge = %d, want 7", got)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	err := WriteText(&b, []Metric{
+		{Name: "app_requests_total", Help: "Requests served.", Kind: KindCounter, Value: 42},
+		{Name: "app_queue_depth", Help: "Waiting requests.", Kind: KindGauge, Value: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP app_requests_total Requests served.\n" +
+		"# TYPE app_requests_total counter\n" +
+		"app_requests_total 42\n" +
+		"# HELP app_queue_depth Waiting requests.\n" +
+		"# TYPE app_queue_depth gauge\n" +
+		"app_queue_depth 3\n"
+	if b.String() != want {
+		t.Fatalf("WriteText:\n%s\nwant:\n%s", b.String(), want)
+	}
+}

@@ -1,0 +1,203 @@
+// Package resultcache is a bounded, content-addressed LRU of simulation
+// snapshots with single-flight collapsing. The simulator is
+// deterministic, so a canonical serialization of the request tuple
+// (see stats.CanonicalKey) is a content address: a cached snapshot is
+// byte-identical to what a fresh run would produce, and serving it
+// costs a map lookup instead of a simulation.
+//
+// Single-flight makes the miss path collapse too: when N identical
+// requests arrive concurrently, Acquire elects one leader to run the
+// simulation while the other N-1 wait on the leader's Flight; the
+// leader's Complete fills the cache before releasing the flight, so
+// every later request — waiter or newcomer — is a hit. Failed runs are
+// never cached; their waiters see the error and may retry (typically by
+// re-entering Acquire, where one of them becomes the next leader).
+//
+// Cached snapshots are shared by reference (including their per-tile
+// and per-link slices); callers must treat them as immutable.
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Cache is the bounded LRU plus the in-flight table. All methods are
+// safe for concurrent use.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64 // 0 = no byte bound
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flights map[string]*Flight
+	bytes   int64
+
+	hits, misses, evictions metrics.Counter
+}
+
+type entry struct {
+	key  string
+	snap stats.Snapshot
+	size int64
+}
+
+// New builds a cache bounded to maxEntries entries (must be positive;
+// callers disable caching by not constructing one) and, when maxBytes
+// is positive, to that many accounted bytes (stats.Snapshot.SizeBytes
+// plus key length per entry).
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		panic("resultcache: maxEntries must be positive (omit the cache to disable it)")
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flights:    make(map[string]*Flight),
+	}
+}
+
+// Flight is one in-progress computation of a key. The leader (the
+// caller Acquire elected) runs the simulation and must call Complete
+// exactly once; everyone else Waits.
+type Flight struct {
+	c    *Cache
+	key  string
+	done chan struct{}
+	snap stats.Snapshot
+	err  error
+}
+
+// Acquire resolves key under one lock, returning exactly one of three
+// outcomes: a cached snapshot (hit == true); leadership of a new
+// flight (leader == true — run the simulation and Complete f); or an
+// existing flight to Wait on (f != nil, leader == false). A hit counts
+// toward the hit counter; an elected leader counts a miss (a
+// simulation will run); joining an existing flight counts nothing
+// until it resolves.
+func (c *Cache) Acquire(key string) (snap stats.Snapshot, hit bool, f *Flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		return el.Value.(*entry).snap, true, nil, false
+	}
+	if f, ok := c.flights[key]; ok {
+		return stats.Snapshot{}, false, f, false
+	}
+	f = &Flight{c: c, key: key, done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses.Inc()
+	return stats.Snapshot{}, false, f, true
+}
+
+// Complete resolves a flight: on err == nil the snapshot is cached
+// (before the flight is released, so no request can slip between the
+// flight ending and the cache filling and run the simulation again),
+// then every Wait returns. Error or interrupted results are never
+// cached. Only the flight's leader may call it, exactly once.
+func (c *Cache) Complete(f *Flight, snap stats.Snapshot, err error) {
+	c.mu.Lock()
+	if err == nil {
+		c.putLocked(f.key, snap)
+	}
+	delete(c.flights, f.key)
+	c.mu.Unlock()
+	f.snap, f.err = snap, err
+	close(f.done)
+}
+
+// Wait blocks until the flight's leader Completes it or ctx is done.
+// A successful result counts as a cache hit for the waiter: it was
+// served without a simulation of its own.
+func (f *Flight) Wait(ctx context.Context) (stats.Snapshot, error) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			return stats.Snapshot{}, f.err
+		}
+		f.c.hits.Inc()
+		return f.snap, nil
+	case <-ctx.Done():
+		return stats.Snapshot{}, ctx.Err()
+	}
+}
+
+// Get is a plain lookup for callers that manage their own collapsing
+// (the matrix sweep runs cells through one admission slot, so it has no
+// concurrent duplicates to collapse). Counts a hit or a miss.
+func (c *Cache) Get(key string) (stats.Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Inc()
+		return el.Value.(*entry).snap, true
+	}
+	c.misses.Inc()
+	return stats.Snapshot{}, false
+}
+
+// Put stores a completed run's snapshot, evicting from the LRU tail
+// until both bounds hold. A snapshot alone larger than the byte budget
+// is not stored at all (storing it would evict the whole cache and then
+// itself).
+func (c *Cache) Put(key string, snap stats.Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, snap)
+}
+
+func (c *Cache) putLocked(key string, snap stats.Snapshot) {
+	size := snap.SizeBytes() + int64(len(key))
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// Deterministic simulator: a re-Put of a key carries the same
+		// snapshot. Refresh recency, keep accounting consistent anyway.
+		e := el.Value.(*entry)
+		c.bytes += size - e.size
+		e.snap, e.size = snap, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, snap: snap, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		back := c.ll.Back()
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= e.size
+		c.evictions.Inc()
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes reports the accounted size of the cached entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Counters reports lifetime hits (cache or collapsed-flight), misses
+// (simulations started), and evictions, for /metrics.
+func (c *Cache) Counters() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

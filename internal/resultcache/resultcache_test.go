@@ -1,0 +1,169 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func snapN(n uint64) stats.Snapshot { return stats.Snapshot{Cycles: n, VectorOps: n * 2} }
+
+func TestHitMissAndLRUOrder(t *testing.T) {
+	c := New(2, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", snapN(1))
+	c.Put("b", snapN(2))
+	// Touch a so b is the LRU victim when c arrives.
+	if s, ok := c.Get("a"); !ok || !s.Equal(snapN(1)) {
+		t.Fatalf("a lookup = %+v/%v", s, ok)
+	}
+	c.Put("c", snapN(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used a was evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	hits, misses, evictions := c.Counters()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	if hits != 3 || misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 3/2", hits, misses)
+	}
+}
+
+func TestByteBound(t *testing.T) {
+	per := snapN(1).SizeBytes() + 1 // key length 1
+	c := New(100, 2*per)
+	c.Put("a", snapN(1))
+	c.Put("b", snapN(2))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Put("c", snapN(3))
+	if c.Len() != 2 {
+		t.Fatalf("byte bound not enforced: Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("LRU victim a survived byte-bound eviction")
+	}
+	if c.Bytes() > 2*per {
+		t.Fatalf("Bytes = %d over bound %d", c.Bytes(), 2*per)
+	}
+}
+
+func TestOversizedEntryNotStored(t *testing.T) {
+	c := New(100, 4)
+	c.Put("a", snapN(1))
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("oversized entry stored: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestSingleFlightCollapse(t *testing.T) {
+	c := New(8, 0)
+	_, hit, f, leader := c.Acquire("k")
+	if hit || !leader {
+		t.Fatalf("first Acquire: hit=%v leader=%v, want miss+leader", hit, leader)
+	}
+
+	const followers = 4
+	var wg sync.WaitGroup
+	got := make([]stats.Snapshot, followers)
+	errs := make([]error, followers)
+	for i := 0; i < followers; i++ {
+		_, hit, ff, lead := c.Acquire("k")
+		if hit || lead {
+			t.Fatalf("follower %d: hit=%v leader=%v, want join", i, hit, lead)
+		}
+		wg.Add(1)
+		go func(i int, ff *Flight) {
+			defer wg.Done()
+			got[i], errs[i] = ff.Wait(context.Background())
+		}(i, ff)
+	}
+
+	want := snapN(7)
+	c.Complete(f, want, nil)
+	wg.Wait()
+	for i := 0; i < followers; i++ {
+		if errs[i] != nil || !got[i].Equal(want) {
+			t.Fatalf("follower %d: snap=%+v err=%v", i, got[i], errs[i])
+		}
+	}
+	// The leader's Complete cached before releasing the flight: a new
+	// Acquire is a plain hit.
+	if _, hit, _, _ := c.Acquire("k"); !hit {
+		t.Fatal("post-flight Acquire missed")
+	}
+	hits, misses, _ := c.Counters()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (one simulation for %d requests)", misses, followers+2)
+	}
+	if hits != followers+1 {
+		t.Fatalf("hits = %d, want %d (followers + final Acquire)", hits, followers+1)
+	}
+}
+
+func TestFlightErrorNotCachedAndRetryable(t *testing.T) {
+	c := New(8, 0)
+	_, _, f, leader := c.Acquire("k")
+	if !leader {
+		t.Fatal("expected leadership")
+	}
+	_, _, follower, lead2 := c.Acquire("k")
+	if lead2 {
+		t.Fatal("second Acquire stole leadership")
+	}
+
+	boom := errors.New("budget exceeded")
+	done := make(chan error, 1)
+	go func() {
+		_, err := follower.Wait(context.Background())
+		done <- err
+	}()
+	c.Complete(f, stats.Snapshot{}, boom)
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("follower err = %v, want %v", err, boom)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed result was cached")
+	}
+	// The key is retryable: the next Acquire becomes a fresh leader.
+	_, hit, _, leader2 := c.Acquire("k")
+	if hit || !leader2 {
+		t.Fatalf("post-failure Acquire: hit=%v leader=%v, want new leader", hit, leader2)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	c := New(8, 0)
+	_, _, f, _ := c.Acquire("k")
+	_, _, follower, _ := c.Acquire("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := follower.Wait(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait ignored context cancellation")
+	}
+	c.Complete(f, snapN(1), nil) // leader must still be able to resolve
+}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"strconv"
+	"strings"
+	"unsafe"
+)
+
+// CanonicalKey joins label/value pairs into a stable content-address
+// string ("w=FwSoft|v=CacheRW|s=0.05|..."). The simulator is
+// deterministic, so a canonical serialization of the parameters that
+// select a result IS a content address for that result: two requests
+// with the same key are guaranteed byte-identical snapshots. Callers
+// choose the labels and their order; the only contract here is that
+// equal pair lists produce equal keys and that neither labels nor
+// values may contain the '|' separator or '='.
+func CanonicalKey(pairs ...string) string {
+	if len(pairs)%2 != 0 {
+		panic("stats: CanonicalKey requires label/value pairs")
+	}
+	var b strings.Builder
+	n := 0
+	for _, p := range pairs {
+		n += len(p) + 1
+	}
+	b.Grow(n)
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(pairs[i])
+		b.WriteByte('=')
+		b.WriteString(pairs[i+1])
+	}
+	return b.String()
+}
+
+// KeyFloat renders a float for CanonicalKey in the shortest form that
+// round-trips exactly (strconv 'g', precision -1), so 1, 1.0, and
+// 0.9999999999999999 canonicalize by value, not by how the client
+// spelled them.
+func KeyFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SizeBytes estimates the snapshot's in-memory footprint: the struct
+// itself plus its per-tile and per-link slices. Result caches use it to
+// enforce a byte budget; it is an accounting figure, not an exact heap
+// measurement.
+func (s Snapshot) SizeBytes() int64 {
+	n := int64(unsafe.Sizeof(s))
+	n += int64(len(s.Tiles)) * int64(unsafe.Sizeof(TileStats{}))
+	n += int64(len(s.Links)) * int64(unsafe.Sizeof(LinkStats{}))
+	return n
+}

@@ -1,0 +1,49 @@
+package stats
+
+import "testing"
+
+func TestCanonicalKeyStable(t *testing.T) {
+	a := CanonicalKey("w", "FwSoft", "v", "CacheRW", "s", KeyFloat(0.05))
+	b := CanonicalKey("w", "FwSoft", "v", "CacheRW", "s", KeyFloat(0.05))
+	if a != b {
+		t.Fatalf("equal tuples gave different keys: %q vs %q", a, b)
+	}
+	if want := "w=FwSoft|v=CacheRW|s=0.05"; a != want {
+		t.Fatalf("key = %q, want %q", a, want)
+	}
+	if c := CanonicalKey("w", "FwSoft", "v", "CacheR", "s", KeyFloat(0.05)); c == a {
+		t.Fatalf("different variants collided on %q", c)
+	}
+}
+
+func TestCanonicalKeyOddPairsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd pair count did not panic")
+		}
+	}()
+	CanonicalKey("w", "FwSoft", "orphan")
+}
+
+func TestKeyFloatByValue(t *testing.T) {
+	if KeyFloat(1) != KeyFloat(1.0) {
+		t.Fatal("1 and 1.0 canonicalized differently")
+	}
+	if KeyFloat(0.25) == KeyFloat(0.250001) {
+		t.Fatal("distinct scales collided")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	var s Snapshot
+	base := s.SizeBytes()
+	if base <= 0 {
+		t.Fatalf("empty snapshot SizeBytes = %d, want > 0", base)
+	}
+	s.Tiles = make([]TileStats, 4)
+	s.Links = make([]LinkStats, 3)
+	grown := s.SizeBytes()
+	if grown <= base {
+		t.Fatalf("snapshot with tiles/links SizeBytes = %d, want > %d", grown, base)
+	}
+}
