@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/persist"
+	"repro/internal/workloads"
+)
+
+// cacheArgs is one small cell with the persistent cache on.
+func cacheArgs(dir string) []string {
+	return []string{"-workload", "FwSoft", "-policy", "CacheRW",
+		"-scale", "0.05", "-cus", "8", "-quiet", "-cache-dir", dir}
+}
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and
+// returns what was written (run prints cache provenance there).
+func captureStderr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := fn()
+	w.Close()
+	os.Stderr = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	return sb.String(), runErr
+}
+
+// TestCacheDirCrossBinarySchema pins the cross-binary contract: a cell
+// micache persists through -cache-dir is stored under core.CellKey —
+// the exact key micached computes for the same request — with a
+// snapshot byte-identical to a direct run. (micached's matrix test
+// pins the same key from the server side, so the two binaries meet in
+// the middle.)
+func TestCacheDirCrossBinarySchema(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(cacheArgs(dir)); err != nil {
+		t.Fatalf("micache run: %v", err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.GPU.CUs = 8
+	st, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	snap, ok, err := st.Get(core.CellKey(cfg, "FwSoft", "CacheRW", 0.05))
+	if err != nil || !ok {
+		t.Fatalf("persisted cell not found under the shared key: ok=%v err=%v (keys: %v)", ok, err, st.Keys())
+	}
+
+	spec, err := workloads.ByName("FwSoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := core.VariantByLabel("CacheRW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.RunOne(cfg, v, spec, workloads.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Equal(direct.Snap) {
+		t.Fatalf("persisted snapshot differs from a direct run:\nstore:  %+v\ndirect: %+v", snap, direct.Snap)
+	}
+}
+
+// TestCacheDirSecondRunHits: the repeat invocation is served from the
+// store (announced on stderr) and does not change the entry count.
+func TestCacheDirSecondRunHits(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(cacheArgs(dir)); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	stderr, err := captureStderr(t, func() error { return run(cacheArgs(dir)) })
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !strings.Contains(stderr, "served from cache") {
+		t.Fatalf("second run did not hit the cache; stderr:\n%s", stderr)
+	}
+}
+
+// TestCacheDirUnavailableRunsAnyway: a cache path that cannot be a
+// directory degrades to an uncached run, not a failure.
+func TestCacheDirUnavailableRunsAnyway(t *testing.T) {
+	file := t.TempDir() + "/flat"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr, err := captureStderr(t, func() error {
+		return run([]string{"-workload", "FwSoft", "-policy", "CacheRW",
+			"-scale", "0.05", "-cus", "8", "-quiet", "-cache-dir", file})
+	})
+	if err != nil {
+		t.Fatalf("run with broken cache dir failed: %v", err)
+	}
+	if !strings.Contains(stderr, "running uncached") {
+		t.Fatalf("degradation not announced; stderr:\n%s", stderr)
+	}
+}
+
+// TestFiguresShareCacheDir: a figure sweep persists its cells, and a
+// re-render serves them all from the store without simulating.
+func TestFiguresShareCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-figure", "4", "-scale", "0.02", "-cus", "8", "-csv", "-cache-dir", dir}
+	if err := run(args); err != nil {
+		t.Fatalf("first sweep: %v", err)
+	}
+	st, err := persist.Open(dir, persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := st.Len()
+	st.Close()
+	if entries == 0 {
+		t.Fatal("figure sweep persisted no cells")
+	}
+
+	stderr, err := captureStderr(t, func() error {
+		noisy := []string{"-figure", "4", "-scale", "0.02", "-cus", "8", "-csv", "-cache-dir", dir}
+		return run(noisy)
+	})
+	if err != nil {
+		t.Fatalf("second sweep: %v", err)
+	}
+	if !strings.Contains(stderr, "served from cache") {
+		t.Fatalf("re-render did not report cached cells; stderr:\n%s", stderr)
+	}
+}

@@ -11,6 +11,7 @@
 //	micache -workload FwAct -policy CacheRW   # one cell, verbose stats
 //	micache -scale 0.25              # smaller/faster inputs
 //	micache -csv                     # machine-readable output
+//	micache -cache-dir ~/.micache    # persist results; shared with micached
 package main
 
 import (
@@ -24,7 +25,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/persist"
 	"repro/internal/report"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -58,6 +61,7 @@ func run(args []string) error {
 		quiet    = fs.Bool("quiet", false, "suppress progress output on stderr")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget per simulation (0 = unlimited)")
 		maxEv    = fs.Uint64("max-events", 0, "event budget per simulation (0 = unlimited)")
+		cacheDir = fs.String("cache-dir", "", "persistent result cache directory, shared with micached's MICACHED_CACHE_DIR (\"\" = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +110,25 @@ func run(args []string) error {
 	// structured error and a clean non-zero exit, never a stack trace.
 	budgets := core.Budgets{Timeout: *timeout, MaxEvents: *maxEv}
 
+	// -cache-dir opens the same crash-safe snapshot store micached
+	// persists to (same directory layout, same core.CellKey schema), so
+	// CLI runs and server runs share results both ways. A store that
+	// fails to open degrades to running everything — this is a cache,
+	// not an input.
+	var store *persist.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = persist.Open(*cacheDir, persist.Options{Fsync: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "micache: cache-dir unavailable, running uncached: %v\n", err)
+		} else {
+			defer store.Close()
+			if c := store.Counters(); c.Corrupt > 0 && !*quiet {
+				fmt.Fprintf(os.Stderr, "micache: quarantined %d corrupt cache entries in %s\n", c.Corrupt, *cacheDir)
+			}
+		}
+	}
+
 	switch {
 	case *table == 1:
 		report.RenderTable1(out, cfg)
@@ -118,13 +141,13 @@ func run(args []string) error {
 	case *replay != "":
 		return runReplay(cfg, *replay, *variant, *window)
 	case *workload != "":
-		return runSingle(cfg, *workload, *variant, sc, *record, budgets, *cellW)
+		return runSingle(cfg, *workload, *variant, sc, *record, budgets, *cellW, store)
 	case *figure != 0:
-		return runFigures(cfg, []int{*figure}, sc, *csv, *workers, *cellW, *quiet, budgets)
+		return runFigures(cfg, []int{*figure}, sc, *csv, *workers, *cellW, *quiet, budgets, store)
 	case *all:
 		report.RenderTable1(out, cfg)
 		report.RenderTable2(out, sc)
-		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv, *workers, *cellW, *quiet, budgets)
+		return runFigures(cfg, []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13}, sc, *csv, *workers, *cellW, *quiet, budgets, store)
 	default:
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table, -figure or -workload")
@@ -158,9 +181,10 @@ func lookupVariant(label string) (core.Variant, error) {
 
 // runSingle runs one workload under one variant and prints full stats;
 // with recordPath it also captures and writes the memory trace (the
-// recording path ignores budgets and cell workers — a trace must be
-// complete or absent, and recording hooks the sequential engine).
-func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string, b core.Budgets, cellWorkers int) error {
+// recording path ignores budgets, cell workers, and the cache — a
+// trace must be complete or absent, and recording hooks the sequential
+// engine).
+func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPath string, b core.Budgets, cellWorkers int, store *persist.Store) error {
 	spec, err := workloads.ByName(name)
 	if err != nil {
 		return fmt.Errorf("unknown workload %q (valid: %s)", name, workloadNames())
@@ -171,6 +195,14 @@ func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPa
 	}
 	start := time.Now()
 	var r core.Result
+	if store != nil && recordPath == "" {
+		key := core.CellKey(cfg, spec.Name, v.Label, float64(sc))
+		if snap, ok, err := store.Get(key); err == nil && ok {
+			fmt.Fprintf(os.Stderr, "served from cache %s\n", store.Dir())
+			printSingle(cfg, core.Result{Workload: spec.Name, Class: spec.Class, Variant: v.Label, Snap: snap}, start)
+			return nil
+		}
+	}
 	if recordPath != "" {
 		var tr *trace.Trace
 		r, tr, err = core.RunRecorded(cfg, v, spec, sc)
@@ -194,7 +226,18 @@ func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPa
 		if err != nil {
 			return err
 		}
+		if store != nil {
+			if err := store.Put(core.CellKey(cfg, spec.Name, v.Label, float64(sc)), r.Snap); err != nil {
+				fmt.Fprintf(os.Stderr, "micache: cache write failed: %v\n", err)
+			}
+		}
 	}
+	printSingle(cfg, r, start)
+	return nil
+}
+
+// printSingle renders one cell's full statistics block.
+func printSingle(cfg core.Config, r core.Result, start time.Time) {
 	s := r.Snap
 	fmt.Printf("%s under %s (%s class, simulated in %v)\n",
 		r.Workload, r.Variant, r.Class, time.Since(start).Round(time.Millisecond))
@@ -222,7 +265,6 @@ func runSingle(cfg core.Config, name, label string, sc workloads.Scale, recordPa
 		fmt.Println()
 		report.RenderTopology(os.Stdout, s)
 	}
-	return nil
 }
 
 // runReplay drives a recorded trace through the memory system under the
@@ -263,8 +305,11 @@ func runReplay(cfg core.Config, path, label string, window int) error {
 }
 
 // runFigures computes the result matrix once — cells spread over the
-// requested worker count — and renders the requested figures.
-func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, workers, cellWorkers int, quiet bool, b core.Budgets) error {
+// requested worker count — and renders the requested figures. With a
+// store, cells already on disk are served without simulating and fresh
+// cells are persisted, so re-rendering figures after an interrupted
+// sweep only pays for the missing cells.
+func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, workers, cellWorkers int, quiet bool, b core.Budgets, store *persist.Store) error {
 	specs := workloads.All()
 	figMap := report.Figures(cfg.GPUClockMHz)
 	sort.Ints(figs)
@@ -303,6 +348,22 @@ func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, worke
 		CellTimeout:      b.Timeout,
 		MaxEventsPerCell: b.MaxEvents,
 	}
+	cached := 0
+	if store != nil {
+		opts.Lookup = func(spec workloads.Spec, v core.Variant) (stats.Snapshot, bool) {
+			snap, ok, err := store.Get(core.CellKey(cfg, spec.Name, v.Label, float64(sc)))
+			return snap, err == nil && ok
+		}
+		opts.OnCell = func(r core.Result, wasCached bool, done, total int) {
+			if wasCached {
+				cached++
+				return
+			}
+			if err := store.Put(core.CellKey(cfg, r.Workload, r.Variant, float64(sc)), r.Snap); err != nil && !quiet {
+				fmt.Fprintf(os.Stderr, "micache: cache write failed: %v\n", err)
+			}
+		}
+	}
 	if !quiet {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
@@ -323,6 +384,9 @@ func runFigures(cfg core.Config, figs []int, sc workloads.Scale, csv bool, worke
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "ran %d simulations in %v (workers=%d)\n",
 			len(results), time.Since(start).Round(time.Millisecond), opts.EffectiveWorkers())
+		if cached > 0 {
+			fmt.Fprintf(os.Stderr, "%d of %d cells served from cache\n", cached, len(results))
+		}
 	}
 
 	m := core.NewMatrix(results)

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/resultcache"
+)
+
+// Disk-store lifecycle, tracked so /readyz can distinguish "still
+// rebuilding the index" from "tried and failed" from "not configured".
+const (
+	storeNone         int32 = iota // no MICACHED_CACHE_DIR; memory-only by choice
+	storeInitializing              // Open is scanning the directory
+	storeReady                     // attached behind the breaker
+	storeFailed                    // Open failed; memory-only by necessity
+)
+
+// openStore opens the persistent tier in the background so the server
+// can accept traffic (memory-only) while a large cache directory is
+// still being scanned. On success the store is attached to the result
+// cache behind a circuit breaker; on failure the server logs once and
+// stays memory-only — a bad disk never stops the binary from serving.
+func (s *server) openStore(o serverOpts) {
+	defer close(s.storeDone)
+	st, err := persist.Open(o.CacheDir, persist.Options{FS: o.StoreFS, Fsync: o.CacheFsync})
+	if err != nil {
+		s.storeState.Store(storeFailed)
+		s.log.Error("disk cache unavailable; serving memory-only", "dir", o.CacheDir, "err", err)
+		return
+	}
+	br := resultcache.NewBreaker(st, o.BreakerFailures, o.BreakerCooldown)
+	s.store.Store(st)
+	s.breaker.Store(br)
+	s.cache.SetStore(br)
+	s.storeState.Store(storeReady)
+	c := st.Counters()
+	s.log.Info("disk cache ready", "dir", o.CacheDir, "entries", st.Len(),
+		"corrupt", c.Corrupt, "readErrors", c.ReadErrors)
+}
+
+// closeStore waits for any in-flight Open and flushes the store (a
+// directory fsync under the always policy). Called after the HTTP
+// drain so no request is still writing through.
+func (s *server) closeStore() error {
+	<-s.storeDone
+	if st := s.store.Load(); st != nil {
+		return st.Close()
+	}
+	return nil
+}
+
+// handleReadyz is readiness, as opposed to /healthz's liveness: a 503
+// here means "do not route new traffic to me" (draining, or the disk
+// index is still rebuilding and a restart storm would stampede the
+// backends), while a 200 may still carry a non-empty "degraded" list
+// naming subsystems that are limping — serving, but worth alerting on.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Status   string   `json:"status"`
+		Degraded []string `json:"degraded,omitempty"`
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, readiness{Status: "draining"})
+		return
+	}
+	if s.storeState.Load() == storeInitializing {
+		writeJSON(w, http.StatusServiceUnavailable, readiness{
+			Status: "initializing", Degraded: []string{"disk-index-rebuilding"}})
+		return
+	}
+	var degraded []string
+	if s.storeState.Load() == storeFailed {
+		degraded = append(degraded, "disk-store-unavailable")
+	}
+	if br := s.breaker.Load(); br != nil && br.State() != resultcache.BreakerClosed {
+		degraded = append(degraded, "disk-breaker-open")
+	}
+	if s.queueMax > 0 && s.queued.Load() >= s.queueMax {
+		degraded = append(degraded, "admission-saturated")
+	}
+	if s.quar.count() > 0 {
+		degraded = append(degraded, "variants-quarantined")
+	}
+	status := "ok"
+	if len(degraded) > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, readiness{Status: status, Degraded: degraded})
+}
+
+// observeWall folds one completed simulation's wall time into an
+// exponentially-weighted moving average (α = 0.2 — a few requests of
+// memory, so a single outlier cell does not dominate Retry-After).
+func (s *server) observeWall(d time.Duration) {
+	const alpha = 0.2
+	for {
+		old := s.wallNS.Load()
+		var next float64
+		if old == 0 {
+			next = float64(d.Nanoseconds())
+		} else {
+			next = (1-alpha)*math.Float64frombits(old) + alpha*float64(d.Nanoseconds())
+		}
+		if s.wallNS.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when retrying is worthwhile: the current
+// queue drained at the moving-average cell wall time across the worker
+// pool. Floor 1 (the header is integer seconds and "now" is never the
+// right advice for a saturated server), capped at 60 so a burst never
+// tells clients to go away for minutes.
+func (s *server) retryAfterSeconds() int64 {
+	avg := math.Float64frombits(s.wallNS.Load())
+	if avg <= 0 {
+		avg = float64(time.Second.Nanoseconds())
+	}
+	depth := float64(s.queued.Load())
+	secs := int64(math.Ceil(depth * avg / float64(s.workers) / float64(time.Second.Nanoseconds())))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// setRetryAfter writes the computed Retry-After header, raising it to
+// atLeast when a longer wait is already known (quarantine expiry).
+func (s *server) setRetryAfter(w http.ResponseWriter, atLeast time.Duration) {
+	secs := s.retryAfterSeconds()
+	if ql := int64(math.Ceil(atLeast.Seconds())); ql > secs {
+		secs = ql
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// quarantine tracks per-(workload,variant) panic streaks. A cell that
+// panics repeatedly is near-certainly deterministic poison — the same
+// request will panic again, burning a worker slot and an isolation
+// recovery each time — so after threshold consecutive panics the tuple
+// is quarantined: refused with 503 + Retry-After until the window
+// expires. One healthy completion clears the streak entirely; an
+// expired quarantine re-arms at one-strike so a still-broken cell is
+// re-quarantined by its next panic instead of earning a fresh streak.
+type quarantine struct {
+	threshold int
+	window    time.Duration
+
+	mu      sync.Mutex
+	entries map[string]*quarEntry
+}
+
+type quarEntry struct {
+	panics int
+	until  time.Time // zero = counting, not quarantined
+}
+
+func newQuarantine(threshold int, window time.Duration) *quarantine {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &quarantine{threshold: threshold, window: window, entries: make(map[string]*quarEntry)}
+}
+
+// check reports whether key is quarantined and, if so, how long
+// remains. An expired quarantine re-arms the entry at one strike
+// below the threshold and admits the request as a probe.
+func (q *quarantine) check(key string) (blocked bool, remaining time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[key]
+	if !ok || e.until.IsZero() {
+		return false, 0
+	}
+	if rem := time.Until(e.until); rem > 0 {
+		return true, rem
+	}
+	e.until = time.Time{}
+	e.panics = q.threshold - 1
+	return false, 0
+}
+
+// recordPanic counts one panic; reaching the threshold starts the
+// quarantine window and reports true (the caller logs it once).
+func (q *quarantine) recordPanic(key string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := q.entries[key]
+	if e == nil {
+		e = &quarEntry{}
+		q.entries[key] = e
+	}
+	e.panics++
+	if e.panics >= q.threshold && e.until.IsZero() {
+		e.until = time.Now().Add(q.window)
+		return true
+	}
+	return false
+}
+
+// recordHealthy clears the streak: the cell completed, so earlier
+// panics were not deterministic poison.
+func (q *quarantine) recordHealthy(key string) {
+	q.mu.Lock()
+	delete(q.entries, key)
+	q.mu.Unlock()
+}
+
+// count reports how many tuples are currently quarantined.
+func (q *quarantine) count() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, e := range q.entries {
+		if !e.until.IsZero() && time.Until(e.until) > 0 {
+			n++
+		}
+	}
+	return n
+}

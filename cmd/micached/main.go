@@ -36,10 +36,27 @@
 //	MICACHED_CACHE_ENTRIES  result-cache capacity   (default 512, 0 = off)
 //	MICACHED_CACHE_BYTES    result-cache byte bound (default 64MiB, 0 = none)
 //
-// SIGTERM or SIGINT drains gracefully: /healthz flips to 503 so load
-// balancers stop routing, in-flight runs finish (bounded by their own
-// budgets), queued requests complete, and only then does the process
-// exit.
+// Persistence and degradation (see the README's "Persistence &
+// degraded modes" section):
+//
+//	MICACHED_CACHE_DIR         snapshot store directory (default "" = memory-only)
+//	MICACHED_CACHE_FSYNC       durability: always|never (default always)
+//	MICACHED_BREAKER_FAILURES  disk errors that trip the breaker (default 5)
+//	MICACHED_BREAKER_COOLDOWN  open time before a probe     (default 10s)
+//	MICACHED_QUARANTINE_PANICS panics that quarantine a cell (default 3)
+//	MICACHED_QUARANTINE_FOR    quarantine window            (default 60s)
+//
+// When MICACHED_CACHE_DIR is set, completed snapshots are written
+// through to a crash-safe content-addressed store and served across
+// restarts; corrupt or torn entries are quarantined at startup, never
+// served. A failing disk trips a circuit breaker into memory-only mode
+// (probing to recover); /readyz reports such degraded states while
+// /healthz stays pure liveness.
+//
+// SIGTERM or SIGINT drains gracefully: /healthz and /readyz flip to
+// 503 so load balancers stop routing, in-flight runs finish (bounded
+// by their own budgets), queued requests complete, the disk store is
+// flushed, and only then does the process exit.
 package main
 
 import (
@@ -110,6 +127,30 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cacheDir := os.Getenv("MICACHED_CACHE_DIR")
+	fsyncPolicy := os.Getenv("MICACHED_CACHE_FSYNC")
+	if fsyncPolicy == "" {
+		fsyncPolicy = "always"
+	}
+	if fsyncPolicy != "always" && fsyncPolicy != "never" {
+		return fmt.Errorf("MICACHED_CACHE_FSYNC=%q: must be always or never", fsyncPolicy)
+	}
+	breakerFailures, err := envInt("MICACHED_BREAKER_FAILURES", 5)
+	if err != nil {
+		return err
+	}
+	breakerCooldown, err := envDuration("MICACHED_BREAKER_COOLDOWN", 10*time.Second)
+	if err != nil {
+		return err
+	}
+	quarPanics, err := envInt("MICACHED_QUARANTINE_PANICS", 3)
+	if err != nil {
+		return err
+	}
+	quarFor, err := envDuration("MICACHED_QUARANTINE_FOR", time.Minute)
+	if err != nil {
+		return err
+	}
 	if workers < 1 || queue < 0 {
 		return fmt.Errorf("MICACHED_WORKERS must be >= 1 and MICACHED_QUEUE >= 0")
 	}
@@ -119,17 +160,29 @@ func run() error {
 	if cacheEntries < 0 || cacheBytes < 0 {
 		return fmt.Errorf("MICACHED_CACHE_ENTRIES and MICACHED_CACHE_BYTES must be >= 0")
 	}
+	if breakerFailures < 1 || quarPanics < 1 {
+		return fmt.Errorf("MICACHED_BREAKER_FAILURES and MICACHED_QUARANTINE_PANICS must be >= 1")
+	}
+	if cacheDir != "" && cacheEntries == 0 {
+		return fmt.Errorf("MICACHED_CACHE_DIR requires MICACHED_CACHE_ENTRIES > 0")
+	}
 
 	srv := newServer(cfg, serverOpts{
-		Workers:      workers,
-		Queue:        queue,
-		Timeout:      timeout,
-		MaxEvents:    maxEvents,
-		Watchdog:     watchdog,
-		MaxScale:     maxScale,
-		CacheEntries: cacheEntries,
-		CacheBytes:   int64(cacheBytes),
-		Log:          logger,
+		Workers:          workers,
+		Queue:            queue,
+		Timeout:          timeout,
+		MaxEvents:        maxEvents,
+		Watchdog:         watchdog,
+		MaxScale:         maxScale,
+		CacheEntries:     cacheEntries,
+		CacheBytes:       int64(cacheBytes),
+		CacheDir:         cacheDir,
+		CacheFsync:       fsyncPolicy == "always",
+		BreakerFailures:  breakerFailures,
+		BreakerCooldown:  breakerCooldown,
+		QuarantinePanics: quarPanics,
+		QuarantineFor:    quarFor,
+		Log:              logger,
 	})
 
 	addr := os.Getenv("MICACHED_ADDR")
@@ -149,7 +202,8 @@ func run() error {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	logger.Info("micached listening", "addr", addr, "workers", workers, "queue", queue,
 		"timeout", timeout, "maxEvents", maxEvents, "watchdog", watchdog,
-		"cacheEntries", cacheEntries, "cacheBytes", cacheBytes)
+		"cacheEntries", cacheEntries, "cacheBytes", cacheBytes,
+		"cacheDir", cacheDir, "fsync", fsyncPolicy)
 
 	select {
 	case err := <-errc:
@@ -174,6 +228,12 @@ func run() error {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Flush the disk store only after the HTTP drain: no handler is
+	// still writing through, so the final directory fsync makes every
+	// committed snapshot durable for the next boot.
+	if err := srv.closeStore(); err != nil {
+		logger.Warn("disk cache close failed", "err", err)
 	}
 	logger.Info("drained, exiting")
 	return nil

@@ -146,7 +146,7 @@ func (s *server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 				if cached {
 					cacheHits++
 				} else if s.cache != nil {
-					s.cache.Put(cacheKey(res.Workload, res.Variant, req.Scale, s.cfg.Topology), res.Snap)
+					s.cache.Put(core.CellKey(s.cfg, res.Workload, res.Variant, req.Scale), res.Snap)
 				}
 				events <- sseEvent{"cell", matrixCellEvent{
 					Workload: res.Workload,
@@ -161,7 +161,7 @@ func (s *server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		}
 		if s.cache != nil {
 			opts.Lookup = func(spec workloads.Spec, v core.Variant) (stats.Snapshot, bool) {
-				return s.cache.Get(cacheKey(spec.Name, v.Label, req.Scale, s.cfg.Topology))
+				return s.cache.Get(core.CellKey(s.cfg, spec.Name, v.Label, req.Scale))
 			}
 		}
 		results, err := s.matrixFn(s.cfg, vs, specs, workloads.Scale(req.Scale), opts)

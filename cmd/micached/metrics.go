@@ -4,6 +4,8 @@ import (
 	"net/http"
 
 	"repro/internal/metrics"
+	"repro/internal/persist"
+	"repro/internal/resultcache"
 )
 
 // handleMetrics exposes the server's operational counters in Prometheus
@@ -36,6 +38,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Kind: metrics.KindCounter, Value: float64(s.m.internalErrors.Load())},
 		{Name: "micached_client_gone_total", Help: "Requests whose client disconnected mid-run (HTTP 499).",
 			Kind: metrics.KindCounter, Value: float64(s.m.clientGone.Load())},
+		{Name: "micached_quarantine_refused_total", Help: "Requests refused because their (workload, variant) is quarantined (HTTP 503).",
+			Kind: metrics.KindCounter, Value: float64(s.m.quarantined.Load())},
+		{Name: "micached_quarantined_variants", Help: "(workload, variant) tuples currently quarantined after repeated panics.",
+			Kind: metrics.KindGauge, Value: float64(s.quar.count())},
 		{Name: "micached_queue_depth", Help: "Requests currently waiting for a worker slot.",
 			Kind: metrics.KindGauge, Value: float64(s.queued.Load())},
 		{Name: "micached_inflight", Help: "Admitted requests currently running.",
@@ -56,6 +62,54 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Kind: metrics.KindGauge, Value: float64(s.cache.Len())},
 			metrics.Metric{Name: "micached_cache_bytes", Help: "Result-cache accounted bytes.",
 				Kind: metrics.KindGauge, Value: float64(s.cache.Bytes())},
+		)
+	}
+	// Persistent-tier metrics appear once a cache directory is
+	// configured, even while the store is still opening (or failed to):
+	// dashboards should see zeros and the breaker state, not a gap.
+	if s.storeState.Load() != storeNone {
+		dh, dm, de := s.cache.DiskCounters()
+		ms = append(ms,
+			metrics.Metric{Name: "micached_disk_hits_total", Help: "Lookups served from the persistent tier.",
+				Kind: metrics.KindCounter, Value: float64(dh)},
+			metrics.Metric{Name: "micached_disk_misses_total", Help: "Persistent-tier lookups that missed.",
+				Kind: metrics.KindCounter, Value: float64(dm)},
+			metrics.Metric{Name: "micached_disk_errors_total", Help: "Persistent-tier operations that returned an error.",
+				Kind: metrics.KindCounter, Value: float64(de)},
+		)
+		var pc persist.Counters
+		var entries int
+		if st := s.store.Load(); st != nil {
+			pc = st.Counters()
+			entries = st.Len()
+		}
+		ms = append(ms,
+			metrics.Metric{Name: "micached_persist_corrupt_total", Help: "Snapshot files quarantined as corrupt (checksum, truncation, version, or key mismatch).",
+				Kind: metrics.KindCounter, Value: float64(pc.Corrupt)},
+			metrics.Metric{Name: "micached_persist_writes_total", Help: "Snapshot files committed to the store.",
+				Kind: metrics.KindCounter, Value: float64(pc.Writes)},
+			metrics.Metric{Name: "micached_persist_write_errors_total", Help: "Snapshot writes that failed before commit.",
+				Kind: metrics.KindCounter, Value: float64(pc.WriteErrors)},
+			metrics.Metric{Name: "micached_persist_read_errors_total", Help: "Snapshot reads that failed with an I/O error (not corruption).",
+				Kind: metrics.KindCounter, Value: float64(pc.ReadErrors)},
+			metrics.Metric{Name: "micached_persist_entries", Help: "Snapshot files indexed by the persistent store.",
+				Kind: metrics.KindGauge, Value: float64(entries)},
+		)
+		var state, trips float64
+		if br := s.breaker.Load(); br != nil {
+			switch br.State() {
+			case resultcache.BreakerOpen:
+				state = 1
+			case resultcache.BreakerHalfOpen:
+				state = 2
+			}
+			trips = float64(br.Trips())
+		}
+		ms = append(ms,
+			metrics.Metric{Name: "micached_breaker_state", Help: "Disk circuit breaker: 0 closed, 1 open (memory-only), 2 half-open (probing).",
+				Kind: metrics.KindGauge, Value: state},
+			metrics.Metric{Name: "micached_breaker_trips_total", Help: "Times the disk circuit breaker opened.",
+				Kind: metrics.KindCounter, Value: trips},
 		)
 	}
 	built, reused := s.pool.Counts()

@@ -1,0 +1,551 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+	"repro/internal/resultcache"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// diskTestServer builds a server with the persistent tier on and waits
+// for the background index rebuild, so tests see the attached store.
+func diskTestServer(t *testing.T, opts serverOpts) *server {
+	t.Helper()
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 64
+	}
+	srv := testServer(opts)
+	<-srv.storeDone
+	return srv
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON from %s: %v\n%s", url, err, buf.Bytes())
+	}
+	return resp, m
+}
+
+// TestWarmRestartServesFromDisk is the tentpole end to end: a result
+// computed by one server process is served as a cache hit by the next
+// process sharing the cache directory, without touching the pool, and
+// byte-identical to the original.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"workload":"FwSoft","variant":"CacheRW","scale":0.05}`
+
+	srvA := diskTestServer(t, serverOpts{Queue: 4, CacheDir: dir})
+	tsA := httptest.NewServer(srvA.routes())
+	respA, bodyA := postRun(t, tsA, body)
+	if respA.StatusCode != http.StatusOK || respA.Header.Get("X-Micached-Cache") != "miss" {
+		t.Fatalf("first run = %d cache=%q (%s)", respA.StatusCode, respA.Header.Get("X-Micached-Cache"), bodyA)
+	}
+	tsA.Close()
+	if err := srvA.closeStore(); err != nil {
+		t.Fatalf("closeStore: %v", err)
+	}
+
+	// "Restart": a fresh server over the same directory.
+	srvB := diskTestServer(t, serverOpts{Queue: 4, CacheDir: dir})
+	tsB := httptest.NewServer(srvB.routes())
+	defer tsB.Close()
+	respB, bodyB := postRun(t, tsB, body)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("restarted run = %d (%s)", respB.StatusCode, bodyB)
+	}
+	if h := respB.Header.Get("X-Micached-Cache"); h != "hit" {
+		t.Fatalf("restarted X-Micached-Cache = %q, want hit", h)
+	}
+	if g := srvB.pool.Gets(); g != 0 {
+		t.Fatalf("disk hit touched the pool: gets = %d", g)
+	}
+
+	var rrA, rrB runResponse
+	if err := json.Unmarshal(bodyA, &rrA); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &rrB); err != nil {
+		t.Fatal(err)
+	}
+	if !rrA.Snapshot.Equal(rrB.Snapshot) {
+		t.Fatalf("snapshot changed across restart:\nA: %+v\nB: %+v", rrA.Snapshot, rrB.Snapshot)
+	}
+
+	// And byte-identical to a cache-off server's fresh run.
+	srvOff := testServer(serverOpts{Queue: 4})
+	tsOff := httptest.NewServer(srvOff.routes())
+	defer tsOff.Close()
+	respOff, bodyOff := postRun(t, tsOff, body)
+	if respOff.StatusCode != http.StatusOK {
+		t.Fatalf("cache-off run = %d (%s)", respOff.StatusCode, bodyOff)
+	}
+	var rrOff runResponse
+	if err := json.Unmarshal(bodyOff, &rrOff); err != nil {
+		t.Fatal(err)
+	}
+	if !rrB.Snapshot.Equal(rrOff.Snapshot) {
+		t.Fatalf("disk-served snapshot differs from cache-off run:\ndisk: %+v\noff:  %+v", rrB.Snapshot, rrOff.Snapshot)
+	}
+}
+
+// TestCorruptEntryResimulatedNotServed: bit-rot the on-disk snapshot
+// between restarts; the next server must quarantine it and re-simulate
+// rather than serve garbage or crash.
+func TestCorruptEntryResimulatedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"workload":"FwSoft","variant":"CacheRW","scale":0.05}`
+
+	srvA := diskTestServer(t, serverOpts{Queue: 4, CacheDir: dir})
+	tsA := httptest.NewServer(srvA.routes())
+	_, bodyA := postRun(t, tsA, body)
+	tsA.Close()
+	if err := srvA.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := filepath.Glob(filepath.Join(dir, "*.snap"))
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshot files = %v (err %v), want exactly 1", snaps, err)
+	}
+	raw, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(snaps[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srvB := diskTestServer(t, serverOpts{Queue: 4, CacheDir: dir})
+	tsB := httptest.NewServer(srvB.routes())
+	defer tsB.Close()
+	respB, bodyB := postRun(t, tsB, body)
+	if respB.StatusCode != http.StatusOK {
+		t.Fatalf("run after corruption = %d (%s)", respB.StatusCode, bodyB)
+	}
+	if h := respB.Header.Get("X-Micached-Cache"); h != "miss" {
+		t.Fatalf("corrupt entry served as %q, want miss (re-simulated)", h)
+	}
+	var rrA, rrB runResponse
+	if err := json.Unmarshal(bodyA, &rrA); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bodyB, &rrB); err != nil {
+		t.Fatal(err)
+	}
+	if !rrA.Snapshot.Equal(rrB.Snapshot) {
+		t.Fatal("re-simulated snapshot differs from the original")
+	}
+	if st := srvB.store.Load(); st == nil || st.Counters().Corrupt == 0 {
+		t.Fatal("corruption was not counted")
+	}
+}
+
+// TestBreakerTripsToMemoryOnlyAndRecovers drives the disk failure path
+// end to end: injected write errors trip the breaker, requests keep
+// succeeding memory-only with zero store traffic, and after the
+// cooldown a probe re-attaches the healed disk.
+func TestBreakerTripsToMemoryOnlyAndRecovers(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	inj.Inject(faultfs.Rule{Op: faultfs.OpWrite, Err: errors.New("disk gone"), FlipBit: -1, Times: 100})
+	srv := diskTestServer(t, serverOpts{
+		Queue: 4, CacheDir: t.TempDir(), StoreFS: inj,
+		BreakerFailures: 2, BreakerCooldown: 200 * time.Millisecond,
+	})
+	srv.runFn = func(_ *core.System, _ workloads.Workload, _ core.Budgets) (stats.Snapshot, error) {
+		return stats.Snapshot{Cycles: 1234, VectorOps: 8, GPUMemRequests: 4}, nil
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Two failing write-throughs trip the breaker; both requests still 200.
+	for i := 0; i < 2; i++ {
+		resp, body := postRun(t, ts, `{"workload":"FwSoft","variant":"CacheRW","scale":0.0`+strconv.Itoa(i+1)+`}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d during disk failure = %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	br := srv.breaker.Load()
+	if br.State() != resultcache.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", br.State())
+	}
+
+	// /readyz keeps answering 200 but names the degraded subsystem.
+	resp, ready := getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz during degradation = %d", resp.StatusCode)
+	}
+	if s, _ := ready["status"].(string); s != "degraded" {
+		t.Fatalf("/readyz status = %v, want degraded\n%v", ready["status"], ready)
+	}
+	found := false
+	if list, ok := ready["degraded"].([]any); ok {
+		for _, d := range list {
+			if d == "disk-breaker-open" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("/readyz degraded list missing disk-breaker-open: %v", ready)
+	}
+
+	// Open breaker = memory-only: no store traffic for new requests.
+	creates := inj.OpCount(faultfs.OpCreate)
+	resp3, body3 := postRun(t, ts, `{"workload":"FwSoft","variant":"CacheRW","scale":0.03}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("memory-only request = %d (%s)", resp3.StatusCode, body3)
+	}
+	if c := inj.OpCount(faultfs.OpCreate); c != creates {
+		t.Fatalf("open breaker let a write through: creates %d -> %d", creates, c)
+	}
+
+	// Disk heals; after the cooldown the next write-through is the
+	// probe that closes the breaker, and entries reach disk again.
+	inj.Reset()
+	time.Sleep(250 * time.Millisecond)
+	resp4, body4 := postRun(t, ts, `{"workload":"FwSoft","variant":"CacheRW","scale":0.04}`)
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery request = %d (%s)", resp4.StatusCode, body4)
+	}
+	if br.State() != resultcache.BreakerClosed {
+		t.Fatalf("breaker state after healed probe = %v, want closed", br.State())
+	}
+	if st := srv.store.Load(); st.Len() == 0 {
+		t.Fatal("healed store holds no entries")
+	}
+	if br.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", br.Trips())
+	}
+}
+
+// TestReadyzLifecycle holds the startup directory scan at a barrier to
+// observe the initializing state deterministically, then releases it
+// and watches readiness settle; draining flips it back to 503.
+func TestReadyzLifecycle(t *testing.T) {
+	barrier := make(chan struct{})
+	inj := faultfs.NewInjector(nil)
+	inj.Inject(faultfs.Rule{Op: faultfs.OpReadDir, Barrier: barrier, FlipBit: -1})
+
+	opts := serverOpts{Queue: 4, CacheDir: t.TempDir(), StoreFS: inj, CacheEntries: 64}
+	srv := testServer(opts) // not diskTestServer: must observe mid-open
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, ready := getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while index rebuilding = %d, want 503\n%v", resp.StatusCode, ready)
+	}
+	if s, _ := ready["status"].(string); s != "initializing" {
+		t.Fatalf("/readyz status = %v, want initializing", ready["status"])
+	}
+	// Liveness is unaffected by readiness: /healthz stays 200.
+	if hresp, _ := getJSON(t, ts.URL+"/healthz"); hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while initializing = %d, want 200", hresp.StatusCode)
+	}
+
+	close(barrier)
+	<-srv.storeDone
+	resp, ready = getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after open = %d\n%v", resp.StatusCode, ready)
+	}
+	if s, _ := ready["status"].(string); s != "ok" {
+		t.Fatalf("/readyz status = %v, want ok", ready["status"])
+	}
+
+	srv.beginDrain()
+	resp, ready = getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	if s, _ := ready["status"].(string); s != "draining" {
+		t.Fatalf("/readyz status = %v, want draining", ready["status"])
+	}
+}
+
+// TestOpenFailureDegradesToMemoryOnly: an unreadable cache directory
+// must not stop the server — it serves memory-only and /readyz names
+// the loss.
+func TestOpenFailureDegradesToMemoryOnly(t *testing.T) {
+	inj := faultfs.NewInjector(nil)
+	inj.Inject(faultfs.Rule{Op: faultfs.OpReadDir, Err: errors.New("mount lost"), FlipBit: -1})
+	srv := diskTestServer(t, serverOpts{Queue: 4, CacheDir: t.TempDir(), StoreFS: inj})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	if got := srv.storeState.Load(); got != storeFailed {
+		t.Fatalf("storeState = %d, want storeFailed", got)
+	}
+	resp, ready := getJSON(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200 (serving memory-only)", resp.StatusCode)
+	}
+	if s, _ := ready["status"].(string); s != "degraded" {
+		t.Fatalf("/readyz status = %v, want degraded", ready["status"])
+	}
+	r, body := postRun(t, ts, `{"workload":"FwSoft","variant":"CacheRW","scale":0.05}`)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("memory-only run = %d (%s)", r.StatusCode, body)
+	}
+}
+
+// TestQuarantineAfterRepeatedPanics: a deterministically-panicking
+// tuple gets 500s until the threshold, then 503 + Retry-After without
+// burning a worker slot; once healed, the post-expiry probe clears it.
+func TestQuarantineAfterRepeatedPanics(t *testing.T) {
+	srv := cacheTestServer(serverOpts{
+		Queue: 4, QuarantinePanics: 2, QuarantineFor: 300 * time.Millisecond,
+	})
+	poison := true
+	srv.runFn = func(_ *core.System, _ workloads.Workload, _ core.Budgets) (stats.Snapshot, error) {
+		if poison {
+			panic("model corrupted")
+		}
+		return stats.Snapshot{Cycles: 7, VectorOps: 2, GPUMemRequests: 1}, nil
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	const body = `{"workload":"FwSoft","variant":"CacheRW","scale":0.05}`
+	for i := 0; i < 2; i++ {
+		resp, _ := postRun(t, ts, body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panic %d = %d, want 500", i, resp.StatusCode)
+		}
+	}
+
+	gets := srv.pool.Gets()
+	resp, rbody := postRun(t, ts, body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined request = %d (%s), want 503", resp.StatusCode, rbody)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("quarantine Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(string(rbody), "quarantined") {
+		t.Fatalf("503 body does not explain the quarantine: %s", rbody)
+	}
+	// The refusal never reached admission or the pool.
+	if g := srv.pool.Gets(); g != gets {
+		t.Fatalf("quarantined request touched the pool: gets %d -> %d", gets, g)
+	}
+	if srv.m.quarantined.Load() != 1 {
+		t.Fatalf("quarantine refusals = %d, want 1", srv.m.quarantined.Load())
+	}
+
+	// Other tuples are unaffected.
+	poison = false
+	respOK, bodyOK := postRun(t, ts, `{"workload":"FwAct","variant":"CacheRW","scale":0.05}`)
+	if respOK.StatusCode != http.StatusOK {
+		t.Fatalf("unrelated tuple = %d (%s)", respOK.StatusCode, bodyOK)
+	}
+
+	// /readyz names the quarantine while it lasts.
+	rresp, ready := getJSON(t, ts.URL+"/readyz")
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d", rresp.StatusCode)
+	}
+	listed := false
+	if list, ok := ready["degraded"].([]any); ok {
+		for _, d := range list {
+			if d == "variants-quarantined" {
+				listed = true
+			}
+		}
+	}
+	if !listed {
+		t.Fatalf("/readyz degraded list missing variants-quarantined: %v", ready)
+	}
+
+	// After the window, the tuple is probed again; healed → 200 and
+	// the quarantine is fully cleared.
+	time.Sleep(350 * time.Millisecond)
+	respProbe, bodyProbe := postRun(t, ts, body)
+	if respProbe.StatusCode != http.StatusOK {
+		t.Fatalf("post-expiry probe = %d (%s)", respProbe.StatusCode, bodyProbe)
+	}
+	if n := srv.quar.count(); n != 0 {
+		t.Fatalf("quarantined tuples after healthy probe = %d, want 0", n)
+	}
+}
+
+// TestRetryAfterScalesWithQueue pins the satellite: the header is
+// derived from queue depth and the cell wall-time moving average, with
+// a floor of one second.
+func TestRetryAfterScalesWithQueue(t *testing.T) {
+	srv := testServer(serverOpts{Workers: 2, Queue: 4})
+
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle Retry-After = %d, want floor 1", got)
+	}
+	// 8 queued cells at ~2s each across 2 workers ≈ 8s of backlog.
+	for i := 0; i < 32; i++ {
+		srv.observeWall(2 * time.Second)
+	}
+	srv.queued.Store(8)
+	got := srv.retryAfterSeconds()
+	if got < 6 || got > 10 {
+		t.Fatalf("Retry-After with 8×2s queue over 2 workers = %d, want ~8", got)
+	}
+	srv.queued.Store(10_000)
+	if got := srv.retryAfterSeconds(); got != 60 {
+		t.Fatalf("Retry-After cap = %d, want 60", got)
+	}
+	srv.queued.Store(0)
+}
+
+// TestSaturated429CarriesComputedRetryAfter: the 429 path sends the
+// computed header, not the old hardcoded "1".
+func TestSaturated429CarriesComputedRetryAfter(t *testing.T) {
+	srv := testServer(serverOpts{Workers: 1, Queue: 0})
+	block := make(chan struct{})
+	srv.runFn = func(_ *core.System, _ workloads.Workload, _ core.Budgets) (stats.Snapshot, error) {
+		<-block
+		return stats.Snapshot{Cycles: 1}, nil
+	}
+	for i := 0; i < 16; i++ {
+		srv.observeWall(5 * time.Second)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		postRun(t, ts, `{"workload":"FwSoft","variant":"CacheRW","scale":0.05}`)
+	}()
+	<-started
+	// Wait until the first request owns the only worker slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(srv.sem) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never occupied the worker slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postRun(t, ts, `{"workload":"FwAct","variant":"CacheRW","scale":0.05}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request = %d (%s), want 429", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	close(block)
+}
+
+// TestMetricsExposePersistAndBreaker: the new families appear (with
+// zero values) as soon as a cache directory is configured — the CI
+// crash smoke greps micached_persist_corrupt_total.
+func TestMetricsExposePersistAndBreaker(t *testing.T) {
+	srv := diskTestServer(t, serverOpts{Queue: 4, CacheDir: t.TempDir()})
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"micached_disk_hits_total 0",
+		"micached_disk_misses_total",
+		"micached_disk_errors_total 0",
+		"micached_persist_corrupt_total 0",
+		"micached_persist_writes_total 0",
+		"micached_persist_write_errors_total 0",
+		"micached_persist_read_errors_total 0",
+		"micached_persist_entries 0",
+		"micached_breaker_state 0",
+		"micached_breaker_trips_total 0",
+		"micached_quarantined_variants 0",
+		"micached_quarantine_refused_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Memory-only servers must not emit the disk families at all.
+	srvOff := cacheTestServer(serverOpts{Queue: 4})
+	tsOff := httptest.NewServer(srvOff.routes())
+	defer tsOff.Close()
+	respOff, err := http.Get(tsOff.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respOff.Body.Close()
+	buf.Reset()
+	if _, err := buf.ReadFrom(respOff.Body); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "micached_persist_") {
+		t.Error("memory-only /metrics exposes persist families")
+	}
+}
+
+// TestMatrixSharesPersistentStore: cells computed by /matrix land in
+// the disk store under the shared CellKey schema, so a later /run (or
+// another binary) hits them.
+func TestMatrixSharesPersistentStore(t *testing.T) {
+	dir := t.TempDir()
+	srv := diskTestServer(t, serverOpts{Queue: 4, CacheDir: dir})
+	ts := httptest.NewServer(srv.routes())
+	resp, err := http.Post(ts.URL+"/matrix", "application/json",
+		strings.NewReader(`{"scale":0.05,"workloads":["FwSoft"],"variants":["CacheRW"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	if _, err := sink.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if err := srv.closeStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := srv.store.Load()
+	key := core.CellKey(testServerConfig(), "FwSoft", "CacheRW", 0.05)
+	found := false
+	for _, k := range st.Keys() {
+		if k == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("matrix cell not persisted under the shared key %q; store holds %v", key, st.Keys())
+	}
+}

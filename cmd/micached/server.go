@@ -9,13 +9,14 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
-	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/metrics"
 	"repro/internal/noc"
+	"repro/internal/persist"
 	"repro/internal/resultcache"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -39,10 +40,27 @@ type server struct {
 	// address for the snapshot. nil = caching disabled.
 	cache *resultcache.Cache
 
+	// The persistent tier, attached asynchronously: openStore scans
+	// the cache directory in the background and publishes the store
+	// (and the breaker guarding it) here when the index is rebuilt.
+	// storeDone closes when that settles either way; storeState is the
+	// lifecycle for /readyz and /metrics.
+	store      atomic.Pointer[persist.Store]
+	breaker    atomic.Pointer[resultcache.Breaker]
+	storeState atomic.Int32
+	storeDone  chan struct{}
+
+	// quar refuses (workload, variant) tuples that keep panicking;
+	// wallNS is the EWMA of completed-cell wall time (float64 bits)
+	// that Retry-After estimates are derived from.
+	quar   *quarantine
+	wallNS atomic.Uint64
+
 	// sem holds one slot per concurrent simulation; queueMax bounds
 	// how many acquirers may block on it before new arrivals are
 	// refused outright.
 	sem      chan struct{}
+	workers  int
 	queueMax int64
 	queued   atomic.Int64
 	inflight atomic.Int64
@@ -74,6 +92,7 @@ type serverMetrics struct {
 	timeouts       metrics.Counter // 504: budget trips
 	internalErrors metrics.Counter // 500: panics, deadlocks, build failures
 	clientGone     metrics.Counter // 499: client disconnected mid-run
+	quarantined    metrics.Counter // 503: refused because the tuple is quarantined
 }
 
 type serverOpts struct {
@@ -88,23 +107,55 @@ type serverOpts struct {
 	// accounted snapshot bytes when positive.
 	CacheEntries int
 	CacheBytes   int64
-	Log          *slog.Logger
+	// CacheDir enables the persistent tier (requires CacheEntries > 0):
+	// completed snapshots are written through to a crash-safe store
+	// there and survive restarts. CacheFsync selects its durability
+	// policy; StoreFS is the filesystem seam (nil = the real one; tests
+	// inject faults through it).
+	CacheDir   string
+	CacheFsync bool
+	StoreFS    faultfs.FS
+	// BreakerFailures consecutive store errors trip the disk circuit
+	// breaker (default 5); BreakerCooldown is how long it stays open
+	// before probing the disk again (default 10s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// QuarantinePanics consecutive panics of one (workload, variant)
+	// quarantine that tuple for QuarantineFor (defaults 3, 60s).
+	QuarantinePanics int
+	QuarantineFor    time.Duration
+	Log              *slog.Logger
 }
 
 func newServer(cfg core.Config, o serverOpts) *server {
 	if o.Log == nil {
 		o.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if o.BreakerFailures <= 0 {
+		o.BreakerFailures = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+	if o.QuarantinePanics <= 0 {
+		o.QuarantinePanics = 3
+	}
+	if o.QuarantineFor <= 0 {
+		o.QuarantineFor = time.Minute
+	}
 	var rc *resultcache.Cache
 	if o.CacheEntries > 0 {
 		rc = resultcache.New(o.CacheEntries, o.CacheBytes)
 	}
-	return &server{
+	s := &server{
 		cfg:       cfg,
 		pool:      core.NewSystemPool(cfg),
 		log:       o.Log,
 		cache:     rc,
+		quar:      newQuarantine(o.QuarantinePanics, o.QuarantineFor),
+		storeDone: make(chan struct{}),
 		sem:       make(chan struct{}, o.Workers),
+		workers:   o.Workers,
 		queueMax:  int64(o.Queue),
 		timeout:   o.Timeout,
 		maxEvents: o.MaxEvents,
@@ -113,6 +164,13 @@ func newServer(cfg core.Config, o serverOpts) *server {
 		runFn:     (*core.System).RunBudgeted,
 		matrixFn:  core.RunMatrixWith,
 	}
+	if o.CacheDir != "" && rc != nil {
+		s.storeState.Store(storeInitializing)
+		go s.openStore(o)
+	} else {
+		close(s.storeDone)
+	}
+	return s
 }
 
 func (s *server) routes() http.Handler {
@@ -121,6 +179,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/matrix", s.handleMatrix)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -192,25 +251,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// cacheKey canonicalizes the tuple that addresses one cell result:
-// workload, variant, scale, and the resolved topology. cell_workers is
-// deliberately excluded — partitioned runs are byte-identical to
-// sequential by contract (the partition differential tests pin it), so
-// every worker count shares one cache line. The topology is keyed
-// after WithDefaults, so tiles omitted, tiles:1, and an explicit
-// direct topology all address the same result. The server's base
-// Config (CU count etc.) is fixed for the process, so it needs no key
-// component.
-func cacheKey(workload, variant string, scale float64, topo noc.Config) string {
-	t := topo.WithDefaults()
-	return stats.CanonicalKey(
-		"w", workload,
-		"v", variant,
-		"s", stats.KeyFloat(scale),
-		"tiles", strconv.Itoa(t.Tiles),
-		"topo", t.Kind.String(),
-	)
-}
+// Cache keys come from core.CellKey — the schema shared with
+// micache's -cache-dir store, covering the simulator fingerprint
+// (deploy invalidation), the request tuple, and the resolved topology.
+// cell_workers is deliberately excluded: partitioned runs are
+// byte-identical to sequential by contract (the partition differential
+// tests pin it), so every worker count shares one cache line.
 
 // admit reserves a worker slot, waiting in the bounded queue when the
 // workers are busy. It reports false after writing the refusal (429) or
@@ -229,7 +275,7 @@ func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
 	if s.queued.Add(1) > s.queueMax {
 		s.queued.Add(-1)
 		s.m.refused.Inc()
-		w.Header().Set("Retry-After", "1")
+		s.setRetryAfter(w, 0)
 		writeJSON(w, http.StatusTooManyRequests, errResponse{Error: "server saturated: worker and queue slots full"})
 		return false
 	}
@@ -317,12 +363,24 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// A (workload, variant) tuple that keeps panicking is refused
+	// before it can burn another worker slot; Retry-After carries the
+	// longer of the quarantine remainder and the queue estimate.
+	qkey := spec.Name + "/" + v.Label
+	if blocked, remaining := s.quar.check(qkey); blocked {
+		s.m.quarantined.Inc()
+		s.setRetryAfter(w, remaining)
+		writeJSON(w, http.StatusServiceUnavailable, errResponse{
+			Error: fmt.Sprintf("%s/%s quarantined after repeated panics; retry later", req.Workload, req.Variant)})
+		return
+	}
+
 	// Cache resolution: a hit is served before any admission or pool
 	// traffic; a miss elects this request the key's single-flight
 	// leader, so concurrent identical requests wait on this run instead
 	// of each burning a worker slot on the same simulation.
 	var fl *resultcache.Flight
-	key := cacheKey(spec.Name, v.Label, req.Scale, cfg.Topology)
+	key := core.CellKey(cfg, spec.Name, v.Label, req.Scale)
 	if s.cache != nil {
 		for {
 			snap, hit, f, leader := s.cache.Acquire(key)
@@ -405,15 +463,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case panicked:
 		// The system's state is unknown; abandon it to the GC rather
-		// than re-pool it. The server itself keeps serving.
+		// than re-pool it. The server itself keeps serving — but a
+		// tuple that panics repeatedly gets quarantined so it stops
+		// costing worker slots.
 		finish(stats.Snapshot{}, runErr)
 		s.m.internalErrors.Inc()
+		if s.quar.recordPanic(qkey) {
+			s.log.Error("variant quarantined after repeated panics",
+				"workload", req.Workload, "variant", req.Variant)
+		}
 		s.log.Error("run panicked", "workload", req.Workload, "variant", req.Variant, "err", runErr)
 		writeJSON(w, http.StatusInternalServerError, errResponse{Error: runErr.Error()})
 	case runErr == nil:
 		if !freshSystem {
 			s.pool.Put(sys)
 		}
+		s.quar.recordHealthy(qkey)
+		s.observeWall(elapsed)
 		finish(snap, nil)
 		s.writeRunResponse(w, req, cfg, topoCustom, cellWorkers, snap, elapsed, "miss")
 	default:

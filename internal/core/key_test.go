@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/noc"
+)
+
+// TestCellKeySchema pins the exact key string: this schema addresses
+// entries in persistent stores shared across binaries AND across
+// deploys, so changing it silently would orphan (or worse, alias)
+// every entry already on disk. If this test fails because the schema
+// changed on purpose, the change must also bump SimVersion or the
+// persist format — decide which invalidation is intended.
+func TestCellKeySchema(t *testing.T) {
+	cfg := DefaultConfig()
+	want := fmt.Sprintf("fp=v%d-cus64|w=FwSoft|v=CacheRW|s=0.05|tiles=1|topo=direct", SimVersion)
+	if got := CellKey(cfg, "FwSoft", "CacheRW", 0.05); got != want {
+		t.Fatalf("CellKey schema drifted:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestCellKeyInvalidation checks each axis that must produce a
+// distinct key: simulator fingerprint inputs (CUs), workload, variant,
+// scale, topology.
+func TestCellKeyInvalidation(t *testing.T) {
+	base := DefaultConfig()
+	baseKey := CellKey(base, "FwSoft", "CacheRW", 0.05)
+
+	cus := base
+	cus.GPU.CUs = 32
+	meshed := base
+	meshed.Topology.Tiles = 4
+	meshed.Topology.Kind = noc.Mesh
+	distinct := []string{
+		CellKey(cus, "FwSoft", "CacheRW", 0.05),
+		CellKey(base, "FwAct", "CacheRW", 0.05),
+		CellKey(base, "FwSoft", "Uncached", 0.05),
+		CellKey(base, "FwSoft", "CacheRW", 0.1),
+		CellKey(meshed, "FwSoft", "CacheRW", 0.05),
+	}
+	for i, k := range distinct {
+		if k == baseKey {
+			t.Errorf("axis %d did not change the key: %s", i, k)
+		}
+	}
+
+	// Equivalent spellings collide: tiles omitted vs tiles=1/direct,
+	// and float values canonicalize by value.
+	direct := base
+	direct.Topology.Tiles = 1
+	direct.Topology.Kind = noc.Direct
+	if CellKey(direct, "FwSoft", "CacheRW", 0.05) != baseKey {
+		t.Error("explicit tiles=1/direct does not collide with the default topology")
+	}
+	if CellKey(base, "FwSoft", "CacheRW", 0.25) != CellKey(base, "FwSoft", "CacheRW", 1.0/4.0) {
+		t.Error("equal scales spelled differently do not collide")
+	}
+}
+
+// TestFingerprintCoversSimVersion: the fingerprint embeds the version
+// constant, so a bump invalidates every persisted key at once.
+func TestFingerprintCoversSimVersion(t *testing.T) {
+	fp := Fingerprint(DefaultConfig())
+	if !strings.Contains(fp, fmt.Sprintf("v%d", SimVersion)) {
+		t.Fatalf("Fingerprint %q does not embed SimVersion %d", fp, SimVersion)
+	}
+}

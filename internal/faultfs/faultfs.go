@@ -1,0 +1,349 @@
+// Package faultfs is the filesystem seam the persistence layer writes
+// through. Production code uses OS, a thin passthrough to the os
+// package; chaos tests wrap it in an Injector that fails, truncates,
+// corrupts, delays, or gates individual operations deterministically,
+// so every recovery branch in internal/persist can be driven on
+// purpose instead of waiting for a disk to misbehave.
+//
+// The interface is deliberately the small set of operations an
+// atomic-rename store needs — create/write/sync/close a temp file,
+// rename it into place, read files and directories back — not a
+// general VFS. Keeping it minimal keeps the fault matrix enumerable:
+// each Op below is one place a real filesystem can fail, and the
+// persist test suite exercises all of them.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// File is the writable handle Create returns. Sync is explicit so the
+// store's fsync policy is visible at the seam (and injectable).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the set of filesystem operations internal/persist performs.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	Create(path string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// SyncDir makes a completed rename durable by fsyncing the
+	// directory itself (a no-op on filesystems that do not need it).
+	SyncDir(path string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
+func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(path string) error                     { return os.Remove(path) }
+
+func (OS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Op names one injectable operation class.
+type Op uint8
+
+const (
+	OpCreate Op = iota
+	OpWrite
+	OpSync
+	OpClose
+	OpRename
+	OpRemove
+	OpReadFile
+	OpReadDir
+	OpSyncDir
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpReadFile:
+		return "readfile"
+	case OpReadDir:
+		return "readdir"
+	case OpSyncDir:
+		return "syncdir"
+	}
+	return "unknown"
+}
+
+// Rule is one scheduled fault. A rule matches an operation by Op and
+// (optionally) a path substring; CountAfter skips that many matching
+// operations first, so "fail the third write" is expressible. A rule
+// fires Times times (default 1), then disarms. What it does when it
+// fires:
+//
+//   - Err != nil: the operation returns Err without touching the
+//     underlying filesystem (for OpWrite, after ShortBytes are written
+//     when ShortBytes > 0 — a torn write).
+//   - ShortBytes > 0 with Err == nil (OpWrite): write only the first
+//     ShortBytes of the buffer but report full success — the silent
+//     short write a crash mid-write leaves behind.
+//   - FlipBit >= 0 (OpWrite): XOR one bit at that byte offset into the
+//     written data — silent media corruption.
+//   - Delay > 0: sleep before the operation proceeds (slow disk).
+//   - Barrier != nil: block until the channel is closed — lets a test
+//     hold an operation (say, the startup directory scan) at a known
+//     point and observe the system mid-flight, deterministically.
+type Rule struct {
+	Op           Op
+	PathContains string
+	CountAfter   int
+	Times        int
+	Err          error
+	ShortBytes   int
+	FlipBit      int // byte offset to corrupt; -1 = none (the zero Rule must set it)
+	Delay        time.Duration
+	Barrier      chan struct{}
+}
+
+// Injector wraps an FS and applies Rules to matching operations. All
+// methods are safe for concurrent use; rule matching is serialized so
+// countdowns are deterministic under concurrency only when the
+// operation order itself is.
+type Injector struct {
+	Under FS // defaults to OS{}
+
+	mu    sync.Mutex
+	rules []*Rule
+	// counts tallies operations by Op, matched or not, so tests can
+	// assert how many times the store touched the disk.
+	counts [OpSyncDir + 1]int
+}
+
+// NewInjector wraps under (nil = the real filesystem).
+func NewInjector(under FS) *Injector {
+	if under == nil {
+		under = OS{}
+	}
+	return &Injector{Under: under}
+}
+
+// Inject arms a rule. Returns the Injector for chaining.
+func (in *Injector) Inject(r Rule) *Injector {
+	if r.Times == 0 {
+		r.Times = 1
+	}
+	in.mu.Lock()
+	in.rules = append(in.rules, &r)
+	in.mu.Unlock()
+	return in
+}
+
+// Reset disarms every rule.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// OpCount reports how many operations of the given class have been
+// issued (fired or not).
+func (in *Injector) OpCount(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// match finds the first armed rule for (op, path), consumes one firing
+// from it, and returns it. nil = no fault.
+func (in *Injector) match(op Op, path string) *Rule {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[op]++
+	for _, r := range in.rules {
+		if r.Op != op || r.Times <= 0 {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		if r.CountAfter > 0 {
+			r.CountAfter--
+			continue
+		}
+		r.Times--
+		return r
+	}
+	return nil
+}
+
+// stall applies the rule's delay and barrier (fault-free aspects that
+// precede the operation).
+func stall(r *Rule) {
+	if r == nil {
+		return
+	}
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if r.Barrier != nil {
+		<-r.Barrier
+	}
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	// No fault class of its own: directory creation failures surface
+	// identically through Create. Count-free passthrough.
+	return in.Under.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(path string) ([]os.DirEntry, error) {
+	r := in.match(OpReadDir, path)
+	stall(r)
+	if r != nil && r.Err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: path, Err: r.Err}
+	}
+	return in.Under.ReadDir(path)
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	r := in.match(OpReadFile, path)
+	stall(r)
+	if r != nil && r.Err != nil {
+		return nil, &fs.PathError{Op: "read", Path: path, Err: r.Err}
+	}
+	return in.Under.ReadFile(path)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	r := in.match(OpRename, newpath)
+	stall(r)
+	if r != nil && r.Err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: r.Err}
+	}
+	return in.Under.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(path string) error {
+	r := in.match(OpRemove, path)
+	stall(r)
+	if r != nil && r.Err != nil {
+		return &fs.PathError{Op: "remove", Path: path, Err: r.Err}
+	}
+	return in.Under.Remove(path)
+}
+
+func (in *Injector) SyncDir(path string) error {
+	r := in.match(OpSyncDir, path)
+	stall(r)
+	if r != nil && r.Err != nil {
+		return &fs.PathError{Op: "syncdir", Path: path, Err: r.Err}
+	}
+	return in.Under.SyncDir(path)
+}
+
+func (in *Injector) Create(path string) (File, error) {
+	r := in.match(OpCreate, path)
+	stall(r)
+	if r != nil && r.Err != nil {
+		return nil, &fs.PathError{Op: "create", Path: path, Err: r.Err}
+	}
+	f, err := in.Under.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{in: in, path: path, f: f}, nil
+}
+
+// file threads write/sync/close operations on one handle back through
+// the injector's rule table.
+type file struct {
+	in   *Injector
+	path string
+	f    File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	r := w.in.match(OpWrite, w.path)
+	stall(r)
+	if r == nil {
+		return w.f.Write(p)
+	}
+	if r.FlipBit >= 0 && r.FlipBit < len(p) && r.Err == nil && r.ShortBytes == 0 {
+		// Corrupt a copy; the caller's buffer is not ours to damage.
+		c := make([]byte, len(p))
+		copy(c, p)
+		c[r.FlipBit] ^= 1
+		return w.f.Write(c)
+	}
+	if r.ShortBytes > 0 && r.ShortBytes < len(p) {
+		n, err := w.f.Write(p[:r.ShortBytes])
+		if err != nil {
+			return n, err
+		}
+		if r.Err != nil {
+			return n, &fs.PathError{Op: "write", Path: w.path, Err: r.Err}
+		}
+		// Silent short write: report success for the full buffer. The
+		// data on disk is torn; only the checksum can tell.
+		return len(p), nil
+	}
+	if r.Err != nil {
+		return 0, &fs.PathError{Op: "write", Path: w.path, Err: r.Err}
+	}
+	return w.f.Write(p)
+}
+
+func (w *file) Sync() error {
+	r := w.in.match(OpSync, w.path)
+	stall(r)
+	if r != nil && r.Err != nil {
+		return &fs.PathError{Op: "sync", Path: w.path, Err: r.Err}
+	}
+	return w.f.Sync()
+}
+
+func (w *file) Close() error {
+	r := w.in.match(OpClose, w.path)
+	stall(r)
+	if r != nil && r.Err != nil {
+		w.f.Close() // release the real handle either way
+		return &fs.PathError{Op: "close", Path: w.path, Err: r.Err}
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,214 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var errInjected = errors.New("injected")
+
+// writeAll writes data through fs to path (create, write, close).
+func writeAll(t *testing.T, f FS, path string, data []byte) error {
+	t.Helper()
+	h, err := f.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := h.Write(data); err != nil {
+		h.Close()
+		return err
+	}
+	return h.Close()
+}
+
+// TestOSRoundTrip exercises the passthrough implementation end to end:
+// everything the persist layer does must work against the real
+// filesystem through the seam.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var f OS
+	if err := f.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "sub", "a.tmp")
+	final := filepath.Join(dir, "sub", "a.snap")
+	h, err := f.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadFile(final)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	ents, err := f.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil || len(ents) != 1 || ents[0].Name() != "a.snap" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := f.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadFile(final); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("after Remove, ReadFile err = %v, want not-exist", err)
+	}
+}
+
+func TestInjectWriteError(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Inject(Rule{Op: OpWrite, Err: errInjected, FlipBit: -1})
+	err := writeAll(t, in, filepath.Join(dir, "a"), []byte("data"))
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	// The rule fired once; the next write succeeds.
+	if err := writeAll(t, in, filepath.Join(dir, "b"), []byte("data")); err != nil {
+		t.Fatalf("second write after one-shot rule: %v", err)
+	}
+}
+
+func TestInjectShortWriteSilent(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Inject(Rule{Op: OpWrite, ShortBytes: 3, FlipBit: -1})
+	path := filepath.Join(dir, "torn")
+	if err := writeAll(t, in, path, []byte("0123456789")); err != nil {
+		t.Fatalf("silent short write must report success, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "012" {
+		t.Fatalf("on-disk bytes = %q, want torn prefix %q", got, "012")
+	}
+}
+
+func TestInjectBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).Inject(Rule{Op: OpWrite, FlipBit: 2})
+	path := filepath.Join(dir, "flip")
+	data := []byte{0, 0, 0, 0}
+	if err := writeAll(t, in, path, data); err != nil {
+		t.Fatal(err)
+	}
+	if data[2] != 0 {
+		t.Fatal("injector corrupted the caller's buffer")
+	}
+	got, _ := os.ReadFile(path)
+	if got[2] != 1 {
+		t.Fatalf("on-disk byte 2 = %d, want bit flipped", got[2])
+	}
+}
+
+func TestInjectRenameReadDirReadFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	if err := os.WriteFile(path, []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(nil).
+		Inject(Rule{Op: OpRename, Err: errInjected, FlipBit: -1}).
+		Inject(Rule{Op: OpReadFile, Err: errInjected, FlipBit: -1}).
+		Inject(Rule{Op: OpReadDir, Err: errInjected, FlipBit: -1}).
+		Inject(Rule{Op: OpSyncDir, Err: errInjected, FlipBit: -1})
+	if err := in.Rename(path, path+"2"); !errors.Is(err, errInjected) {
+		t.Fatalf("rename err = %v", err)
+	}
+	if _, err := in.ReadFile(path); !errors.Is(err, errInjected) {
+		t.Fatalf("readfile err = %v", err)
+	}
+	if _, err := in.ReadDir(dir); !errors.Is(err, errInjected) {
+		t.Fatalf("readdir err = %v", err)
+	}
+	if err := in.SyncDir(dir); !errors.Is(err, errInjected) {
+		t.Fatalf("syncdir err = %v", err)
+	}
+	// All rules consumed: the untouched file is still readable.
+	if got, err := in.ReadFile(path); err != nil || string(got) != "v" {
+		t.Fatalf("after rules consumed: %q, %v", got, err)
+	}
+}
+
+// TestInjectCountAfterAndPathFilter pins the scheduling knobs: a rule
+// with CountAfter=1 skips the first matching op, and PathContains
+// scopes a rule to matching paths only.
+func TestInjectCountAfterAndPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil).
+		Inject(Rule{Op: OpReadFile, CountAfter: 1, Err: errInjected, FlipBit: -1}).
+		Inject(Rule{Op: OpRemove, PathContains: "victim", Err: errInjected, FlipBit: -1})
+	a := filepath.Join(dir, "a")
+	os.WriteFile(a, []byte("1"), 0o644)
+	if _, err := in.ReadFile(a); err != nil {
+		t.Fatalf("first read should pass, got %v", err)
+	}
+	if _, err := in.ReadFile(a); !errors.Is(err, errInjected) {
+		t.Fatalf("second read should fail, got %v", err)
+	}
+	os.WriteFile(filepath.Join(dir, "bystander"), []byte("1"), 0o644)
+	os.WriteFile(filepath.Join(dir, "victim"), []byte("1"), 0o644)
+	if err := in.Remove(filepath.Join(dir, "bystander")); err != nil {
+		t.Fatalf("unmatched path should pass, got %v", err)
+	}
+	if err := in.Remove(filepath.Join(dir, "victim")); !errors.Is(err, errInjected) {
+		t.Fatalf("matched path should fail, got %v", err)
+	}
+}
+
+// TestInjectBarrier checks a gated operation really blocks until the
+// barrier closes — the mechanism readiness tests use to hold a startup
+// scan mid-flight.
+func TestInjectBarrier(t *testing.T) {
+	dir := t.TempDir()
+	barrier := make(chan struct{})
+	in := NewInjector(nil).Inject(Rule{Op: OpReadDir, Barrier: barrier, FlipBit: -1})
+	done := make(chan struct{})
+	go func() {
+		in.ReadDir(dir)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("gated ReadDir returned before the barrier opened")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(barrier)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ReadDir never returned after the barrier opened")
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil)
+	writeAll(t, in, filepath.Join(dir, "a"), []byte("x"))
+	in.ReadFile(filepath.Join(dir, "a"))
+	if got := in.OpCount(OpWrite); got != 1 {
+		t.Fatalf("OpCount(write) = %d, want 1", got)
+	}
+	if got := in.OpCount(OpReadFile); got != 1 {
+		t.Fatalf("OpCount(readfile) = %d, want 1", got)
+	}
+	in.Reset()
+	if err := writeAll(t, in, filepath.Join(dir, "b"), []byte("x")); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}

@@ -1,0 +1,416 @@
+// Package persist is the crash-safe on-disk tier of the result cache:
+// a content-addressed snapshot store with one file per canonical key.
+//
+// Durability discipline:
+//
+//   - Every entry is a self-verifying file: a fixed header (magic,
+//     format version, key and payload lengths) followed by the full
+//     canonical key, the JSON-encoded stats.Snapshot, and a CRC-32C
+//     checksum over all of it. A reader can always tell a good entry
+//     from a torn, truncated, or bit-flipped one.
+//   - Writes are atomic: payload goes to a ".tmp" sibling first
+//     (synced when the fsync policy says so), then renames into place.
+//     A crash at any point leaves either the old state or the new
+//     state, never a half-written visible entry.
+//   - Startup scans the directory, verifies every entry, and rebuilds
+//     the key index. Anything that fails verification — including
+//     leftover ".tmp" files from a torn write — is quarantined by
+//     renaming it to "<name>.corrupt" and counted; it is never served
+//     and never fatal.
+//
+// All filesystem traffic goes through the internal/faultfs seam, so
+// the chaos tests drive every one of those recovery branches
+// deterministically.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/faultfs"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+const (
+	// suffix names a committed entry; tmpSuffix an in-progress write;
+	// corruptSuffix a quarantined file (kept for forensics, never read).
+	suffix        = ".snap"
+	tmpSuffix     = ".tmp"
+	corruptSuffix = ".corrupt"
+
+	// formatVersion is the on-disk layout version. Decoders reject
+	// other versions (quarantine, not crash): the layout can evolve
+	// without old deployments serving garbage. Distinct from the
+	// simulator fingerprint baked into keys — that invalidates results,
+	// this invalidates encodings.
+	formatVersion = 1
+
+	// headerLen is magic(4) + version(2) + keyLen(4) + payloadLen(4).
+	headerLen = 14
+)
+
+var (
+	magic     = [4]byte{'M', 'I', 'C', 'S'}
+	castTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem seam; nil means the real filesystem.
+	FS faultfs.FS
+	// Fsync syncs the entry file (and the directory) on every Put.
+	// Off, a kernel crash can lose recent entries — but a torn or
+	// reordered write still cannot be served, because verification
+	// catches it and quarantines the file.
+	Fsync bool
+}
+
+// Counters is a point-in-time copy of the store's lifetime counters.
+type Counters struct {
+	Hits        uint64 // Gets served from a verified entry
+	Misses      uint64 // Gets for keys not in the index
+	Writes      uint64 // successful Puts
+	WriteErrors uint64 // Puts that failed (create/write/sync/rename)
+	ReadErrors  uint64 // reads that failed with an I/O error (not corruption)
+	Corrupt     uint64 // entries quarantined (torn, truncated, checksum, version)
+}
+
+// Store is the on-disk snapshot store. All methods are safe for
+// concurrent use; operations on the same directory from *different*
+// Store instances (or processes) are safe too, because visibility is
+// only ever granted by atomic rename and every read verifies.
+type Store struct {
+	dir   string
+	fs    faultfs.FS
+	fsync bool
+
+	mu    sync.Mutex
+	index map[string]struct{} // canonical keys known to be on disk
+
+	hits, misses, writes    metrics.Counter
+	writeErrors, readErrors metrics.Counter
+	corrupt                 metrics.Counter
+}
+
+// Open creates dir if needed, scans it, verifies every committed
+// entry, quarantines anything unreadable, and returns the store with
+// its index rebuilt. Scan-time corruption is counted, never fatal: a
+// store that lost everything opens empty.
+func Open(dir string, o Options) (*Store, error) {
+	if o.FS == nil {
+		o.FS = faultfs.OS{}
+	}
+	if err := o.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: create %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, fs: o.FS, fsync: o.Fsync, index: make(map[string]struct{})}
+	ents, err := o.FS.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: scan %s: %w", dir, err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			// A torn write from a crash mid-Put: the rename never
+			// happened, so the content was never visible. Quarantine.
+			s.quarantine(path)
+		case strings.HasSuffix(name, suffix):
+			key, _, err := s.readVerify(path)
+			if err != nil {
+				if isIOError(err) {
+					// The media, not the content: leave the file where
+					// it is (a later read may succeed) but keep it out
+					// of the index so it cannot be served unverified.
+					s.readErrors.Inc()
+					continue
+				}
+				s.quarantine(path)
+				continue
+			}
+			// The embedded key is authoritative; the filename is just
+			// its hash. A file whose content belongs to a different
+			// key (copied or renamed by hand) indexes under what it
+			// actually holds.
+			s.index[key] = struct{}{}
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the directory the store lives in.
+func (s *Store) Dir() string { return s.dir }
+
+// Len reports the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Counters returns a snapshot of the lifetime counters.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrors.Load(),
+		ReadErrors:  s.readErrors.Load(),
+		Corrupt:     s.corrupt.Load(),
+	}
+}
+
+// Get reads and verifies the entry for key. ok is false on a miss or
+// when the entry failed verification (it is quarantined and counted,
+// never returned); err is non-nil only for I/O errors, so the caller's
+// circuit breaker can tell a failing disk from an absent entry.
+func (s *Store) Get(key string) (stats.Snapshot, bool, error) {
+	s.mu.Lock()
+	_, ok := s.index[key]
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Inc()
+		return stats.Snapshot{}, false, nil
+	}
+	path := s.path(key)
+	gotKey, snap, err := s.readVerify(path)
+	if err != nil {
+		if isIOError(err) {
+			s.readErrors.Inc()
+			return stats.Snapshot{}, false, fmt.Errorf("persist: read %s: %w", path, err)
+		}
+		// Corrupt on disk after indexing (media rot, truncation by an
+		// outside actor): quarantine and report a clean miss.
+		s.quarantine(path)
+		s.dropIndex(key)
+		return stats.Snapshot{}, false, nil
+	}
+	if gotKey != key {
+		// Hash-named file holding someone else's entry; treat as
+		// corruption of this key's slot.
+		s.quarantine(path)
+		s.dropIndex(key)
+		return stats.Snapshot{}, false, nil
+	}
+	s.hits.Inc()
+	return snap, true, nil
+}
+
+// Put writes the entry for key atomically: temp file, optional fsync,
+// rename, optional directory fsync. On any error the temp file is
+// removed (best effort) and the previous entry for the key — if any —
+// remains intact and served.
+func (s *Store) Put(key string, snap stats.Snapshot) error {
+	data, err := encode(key, snap)
+	if err != nil {
+		s.writeErrors.Inc()
+		return fmt.Errorf("persist: encode %q: %w", key, err)
+	}
+	final := s.path(key)
+	tmp := final + tmpSuffix
+	if err := s.writeTmp(tmp, data); err != nil {
+		s.writeErrors.Inc()
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("persist: write %s: %w", tmp, err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		s.writeErrors.Inc()
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("persist: commit %s: %w", final, err)
+	}
+	if s.fsync {
+		if err := s.fs.SyncDir(s.dir); err != nil {
+			// The entry is visible and verifiable; only its durability
+			// across a power cut is in doubt. Count, do not fail.
+			s.writeErrors.Inc()
+		}
+	}
+	s.mu.Lock()
+	s.index[key] = struct{}{}
+	s.mu.Unlock()
+	s.writes.Inc()
+	return nil
+}
+
+// Delete removes the entry for key (used by tests and future eviction;
+// a miss is not an error).
+func (s *Store) Delete(key string) error {
+	s.dropIndex(key)
+	err := s.fs.Remove(s.path(key))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Close flushes the directory once more when fsync is on, making the
+// final set of renames durable. The drain path calls it; the store is
+// unusable afterwards only by convention (no operation checks).
+func (s *Store) Close() error {
+	if !s.fsync {
+		return nil
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// Keys returns the indexed canonical keys (order unspecified).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.index))
+	for k := range s.index {
+		out = append(out, k)
+	}
+	return out
+}
+
+// path maps a canonical key to its entry file: the key's FNV-safe
+// content hash keeps filenames fixed-length and filesystem-safe while
+// the embedded key keeps them self-describing.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, FileName(key))
+}
+
+// FileName returns the entry filename for a canonical key (exposed so
+// tests and operators can locate an entry on disk).
+func FileName(key string) string {
+	sum := crc32.Checksum([]byte(key), castTable)
+	// CRC-32 alone invites collisions at scale; pair it with a 64-bit
+	// FNV-1a so two distinct hot keys colliding is out of practical
+	// reach. (Collisions are not a correctness risk — the embedded key
+	// is verified on read — only a cache-efficiency one: colliding
+	// keys would evict each other's files.)
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("%08x%016x%s", sum, h, suffix)
+}
+
+func (s *Store) dropIndex(key string) {
+	s.mu.Lock()
+	delete(s.index, key)
+	s.mu.Unlock()
+}
+
+// quarantine renames a bad file to <name>.corrupt and counts it; if
+// even the rename fails it falls back to removal, and if that fails
+// too the file simply stays — unindexed, so it can never be served.
+func (s *Store) quarantine(path string) {
+	s.corrupt.Inc()
+	if err := s.fs.Rename(path, path+corruptSuffix); err != nil {
+		_ = s.fs.Remove(path)
+	}
+}
+
+// writeTmp creates the temp file, writes data, syncs per policy, and
+// closes, returning the first error.
+func (s *Store) writeTmp(tmp string, data []byte) error {
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if s.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// encode serializes one entry:
+//
+//	magic[4] version[2] keyLen[4] payloadLen[4] key payload crc32c[4]
+//
+// The checksum covers everything before it, so any torn, truncated, or
+// flipped byte anywhere in the file fails verification.
+func encode(key string, snap stats.Snapshot) ([]byte, error) {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, headerLen+len(key)+len(payload)+4)
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castTable))
+	return buf, nil
+}
+
+// errCorrupt marks verification failures (vs I/O errors). It carries
+// the reason for test assertions and logs.
+type errCorrupt struct{ reason string }
+
+func (e *errCorrupt) Error() string { return "persist: corrupt entry: " + e.reason }
+
+// isIOError distinguishes media failures from content failures: only
+// the latter quarantine the file.
+func isIOError(err error) bool {
+	_, isCorrupt := err.(*errCorrupt)
+	return !isCorrupt
+}
+
+// readVerify reads one entry file and verifies structure, version, and
+// checksum, returning the embedded key and snapshot.
+func (s *Store) readVerify(path string) (string, stats.Snapshot, error) {
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		return "", stats.Snapshot{}, err
+	}
+	key, snap, cerr := decode(data)
+	if cerr != nil {
+		return "", stats.Snapshot{}, cerr
+	}
+	return key, snap, nil
+}
+
+// decode is the inverse of encode, rejecting anything malformed.
+func decode(data []byte) (string, stats.Snapshot, error) {
+	if len(data) < headerLen+4 {
+		return "", stats.Snapshot{}, &errCorrupt{"truncated header"}
+	}
+	if [4]byte(data[:4]) != magic {
+		return "", stats.Snapshot{}, &errCorrupt{"bad magic"}
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != formatVersion {
+		return "", stats.Snapshot{}, &errCorrupt{fmt.Sprintf("format version %d", v)}
+	}
+	keyLen := int(binary.LittleEndian.Uint32(data[6:10]))
+	payloadLen := int(binary.LittleEndian.Uint32(data[10:14]))
+	want := headerLen + keyLen + payloadLen + 4
+	if keyLen < 0 || payloadLen < 0 || len(data) != want {
+		return "", stats.Snapshot{}, &errCorrupt{"length mismatch"}
+	}
+	body := data[:want-4]
+	sum := binary.LittleEndian.Uint32(data[want-4:])
+	if crc32.Checksum(body, castTable) != sum {
+		return "", stats.Snapshot{}, &errCorrupt{"checksum mismatch"}
+	}
+	key := string(data[headerLen : headerLen+keyLen])
+	var snap stats.Snapshot
+	if err := json.Unmarshal(data[headerLen+keyLen:want-4], &snap); err != nil {
+		return "", stats.Snapshot{}, &errCorrupt{"payload: " + err.Error()}
+	}
+	return key, snap, nil
+}

@@ -1,0 +1,496 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/stats"
+)
+
+var errDisk = errors.New("injected disk failure")
+
+func snapN(n uint64) stats.Snapshot {
+	return stats.Snapshot{Cycles: n, VectorOps: n * 3, GPUMemRequests: n * 7,
+		L1: stats.CacheStats{Hits: n, Misses: n + 1}, Kernels: 2}
+}
+
+func mustOpen(t *testing.T, dir string, o Options) *Store {
+	t.Helper()
+	s, err := Open(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, key string, snap stats.Snapshot) {
+	t.Helper()
+	if err := s.Put(key, snap); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptFiles lists *.corrupt files in dir.
+func corruptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), corruptSuffix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{Fsync: true})
+	want := snapN(42)
+	want.Tiles = []stats.TileStats{{L1: stats.CacheStats{Hits: 9}}}
+	want.Links = []stats.LinkStats{{Src: 0, Dst: 1, Forwarded: 5}}
+	mustPut(t, s, "w=A|v=B|s=1", want)
+	got, ok, err := s.Get("w=A|v=B|s=1")
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v", ok, err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if _, ok, _ := s.Get("w=A|v=B|s=2"); ok {
+		t.Fatal("absent key reported present")
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Writes != 1 {
+		t.Fatalf("counters = %+v, want 1 hit / 1 miss / 1 write", c)
+	}
+}
+
+// TestReopenRebuildsIndex is the basic persistence contract: a new
+// Store over the same directory serves everything a previous one wrote.
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, Options{Fsync: true})
+	keys := []string{"k1", "k2", "k3"}
+	for i, k := range keys {
+		mustPut(t, s1, k, snapN(uint64(i+1)))
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Len() != len(keys) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(keys))
+	}
+	for i, k := range keys {
+		got, ok, err := s2.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) after reopen: ok=%v err=%v", k, ok, err)
+		}
+		if !got.Equal(snapN(uint64(i + 1))) {
+			t.Fatalf("Get(%s) after reopen: wrong snapshot", k)
+		}
+	}
+}
+
+// TestPutOverwriteKeepsLatest re-puts a key (a newer deploy could write
+// the same key after a fingerprint stayed equal) and checks last-write
+// wins atomically.
+func TestPutOverwriteKeepsLatest(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "k", snapN(1))
+	mustPut(t, s, "k", snapN(2))
+	got, ok, _ := s.Get("k")
+	if !ok || got.Cycles != 2 {
+		t.Fatalf("after overwrite: ok=%v cycles=%d, want 2", ok, got.Cycles)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", s.Len())
+	}
+}
+
+// TestWriteErrorLeavesOldEntry drives the write-error branch: the Put
+// fails cleanly, the previous committed entry survives, and no stray
+// temp file is left behind.
+func TestWriteErrorLeavesOldEntry(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s := mustOpen(t, dir, Options{FS: in})
+	mustPut(t, s, "k", snapN(1))
+
+	in.Inject(faultfs.Rule{Op: faultfs.OpWrite, Err: errDisk, FlipBit: -1})
+	if err := s.Put("k", snapN(2)); !errors.Is(err, errDisk) {
+		t.Fatalf("Put with injected write error = %v, want errDisk", err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || got.Cycles != 1 {
+		t.Fatalf("old entry after failed overwrite: ok=%v cycles=%d err=%v, want 1", ok, got.Cycles, err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), tmpSuffix) {
+			t.Fatalf("failed Put left temp file %s", e.Name())
+		}
+	}
+	if c := s.Counters(); c.WriteErrors != 1 {
+		t.Fatalf("WriteErrors = %d, want 1", c.WriteErrors)
+	}
+}
+
+// TestRenameErrorLeavesOldEntry drives the rename-error branch.
+func TestRenameErrorLeavesOldEntry(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s := mustOpen(t, dir, Options{FS: in})
+	mustPut(t, s, "k", snapN(1))
+
+	in.Inject(faultfs.Rule{Op: faultfs.OpRename, Err: errDisk, FlipBit: -1})
+	if err := s.Put("k", snapN(2)); !errors.Is(err, errDisk) {
+		t.Fatalf("Put with injected rename error = %v, want errDisk", err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || got.Cycles != 1 {
+		t.Fatalf("old entry after failed rename: ok=%v cycles=%d err=%v", ok, got.Cycles, err)
+	}
+}
+
+// TestCrashRecovery is the satellite scenario: several entries written
+// through, one killed mid-write (silent short write — data torn, no
+// rename), one left as a bare .tmp (crash before rename). On reopen
+// the intact entries load, the torn ones are quarantined, and a fresh
+// Put repopulates the lost key.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s1 := mustOpen(t, dir, Options{FS: in, Fsync: true})
+	mustPut(t, s1, "intact-1", snapN(1))
+	mustPut(t, s1, "intact-2", snapN(2))
+
+	// Crash shape 1: the write is silently short AND the rename never
+	// happens — a classic power cut. The .tmp stays behind, torn.
+	in.Inject(faultfs.Rule{Op: faultfs.OpWrite, ShortBytes: 10, FlipBit: -1})
+	in.Inject(faultfs.Rule{Op: faultfs.OpRename, Err: errDisk, FlipBit: -1})
+	if err := s1.Put("torn", snapN(3)); err == nil {
+		t.Fatal("expected the torn Put to fail at rename")
+	}
+	// Simulate that the crash also prevented the cleanup Remove: put
+	// the torn temp file back exactly as the power cut left it.
+	tornTmp := filepath.Join(dir, FileName("torn")+tmpSuffix)
+	if err := os.WriteFile(tornTmp, []byte("torn-garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash shape 2: a fully-written entry whose bytes rotted on disk.
+	rotPath := filepath.Join(dir, FileName("intact-2"))
+	data, err := os.ReadFile(rotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(rotPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": a fresh store over the same directory.
+	s2 := mustOpen(t, dir, Options{Fsync: true})
+	if got, ok, err := s2.Get("intact-1"); err != nil || !ok || !got.Equal(snapN(1)) {
+		t.Fatalf("intact entry lost across restart: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := s2.Get("intact-2"); ok {
+		t.Fatal("bit-rotted entry served after restart")
+	}
+	if _, ok, _ := s2.Get("torn"); ok {
+		t.Fatal("torn entry served after restart")
+	}
+	if c := s2.Counters(); c.Corrupt != 2 {
+		t.Fatalf("Corrupt = %d at reopen, want 2 (rot + torn tmp)", c.Corrupt)
+	}
+	if got := corruptFiles(t, dir); len(got) != 2 {
+		t.Fatalf("quarantined files = %v, want 2", got)
+	}
+
+	// A fresh run repopulates the lost keys.
+	mustPut(t, s2, "torn", snapN(3))
+	mustPut(t, s2, "intact-2", snapN(2))
+	for _, k := range []string{"intact-1", "intact-2", "torn"} {
+		if _, ok, err := s2.Get(k); err != nil || !ok {
+			t.Fatalf("Get(%s) after repopulation: ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+// TestChecksumMismatchQuarantinesOnGet corrupts an entry after the
+// index was built: the Get must quarantine, report a miss, and never
+// return the damaged snapshot.
+func TestChecksumMismatchQuarantinesOnGet(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "k", snapN(7))
+	path := filepath.Join(dir, FileName("k"))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 1 // flip a checksum bit
+	os.WriteFile(path, data, 0o644)
+
+	if _, ok, err := s.Get("k"); ok || err != nil {
+		t.Fatalf("corrupt Get = ok=%v err=%v, want miss with nil error", ok, err)
+	}
+	if c := s.Counters(); c.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", c.Corrupt)
+	}
+	if got := corruptFiles(t, dir); len(got) != 1 {
+		t.Fatalf("no quarantine file after checksum mismatch: %v", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after quarantine, want 0", s.Len())
+	}
+}
+
+// TestTruncatedEntryQuarantined covers every truncation point: header,
+// key, payload, and checksum.
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	for _, cut := range []int{0, 3, headerLen - 1, headerLen + 2} {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, Options{})
+		mustPut(t, s, "k", snapN(1))
+		path := filepath.Join(dir, FileName("k"))
+		data, _ := os.ReadFile(path)
+		if cut >= len(data) {
+			t.Fatalf("cut %d beyond entry size %d", cut, len(data))
+		}
+		os.WriteFile(path, data[:cut], 0o644)
+		if _, ok, err := s.Get("k"); ok || err != nil {
+			t.Fatalf("cut=%d: Get = ok=%v err=%v, want clean miss", cut, ok, err)
+		}
+	}
+}
+
+// TestBitFlipViaInjector drives the corruption branch through the
+// faultfs seam instead of direct file surgery: a flipped bit in the
+// write path is caught at read time by the checksum.
+func TestBitFlipViaInjector(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s := mustOpen(t, dir, Options{FS: in})
+	in.Inject(faultfs.Rule{Op: faultfs.OpWrite, FlipBit: 20})
+	mustPut(t, s, "k", snapN(1)) // write "succeeds" — corruption is silent
+	if _, ok, err := s.Get("k"); ok || err != nil {
+		t.Fatalf("bit-flipped entry Get = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if c := s.Counters(); c.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", c.Corrupt)
+	}
+}
+
+// TestReadErrorAtStartup injects an I/O error into the startup scan:
+// the unreadable entry is excluded from the index (not served, not
+// quarantined — the media may recover) and the scan completes.
+func TestReadErrorAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, Options{})
+	mustPut(t, s1, "good", snapN(1))
+	mustPut(t, s1, "unlucky", snapN(2))
+
+	in := faultfs.NewInjector(nil).Inject(faultfs.Rule{
+		Op: faultfs.OpReadFile, PathContains: FileName("unlucky"), Err: errDisk, FlipBit: -1})
+	s2 := mustOpen(t, dir, Options{FS: in})
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d after scan read error, want 1", s2.Len())
+	}
+	if _, ok, _ := s2.Get("good"); !ok {
+		t.Fatal("healthy entry lost to a neighbor's read error")
+	}
+	if c := s2.Counters(); c.ReadErrors != 1 || c.Corrupt != 0 {
+		t.Fatalf("counters = %+v, want 1 read error / 0 corrupt", c)
+	}
+	if got := corruptFiles(t, dir); len(got) != 0 {
+		t.Fatalf("read error must not quarantine, got %v", got)
+	}
+}
+
+// TestReadErrorOnGet returns the error (for the circuit breaker) and
+// keeps the entry indexed: a transient EIO must not evict good data.
+func TestReadErrorOnGet(t *testing.T) {
+	dir := t.TempDir()
+	in := faultfs.NewInjector(nil)
+	s := mustOpen(t, dir, Options{FS: in})
+	mustPut(t, s, "k", snapN(1))
+	in.Inject(faultfs.Rule{Op: faultfs.OpReadFile, Err: errDisk, FlipBit: -1})
+	if _, ok, err := s.Get("k"); ok || !errors.Is(err, errDisk) {
+		t.Fatalf("Get = ok=%v err=%v, want miss with errDisk", ok, err)
+	}
+	// The transient fault cleared; the entry is still there.
+	if got, ok, err := s.Get("k"); err != nil || !ok || got.Cycles != 1 {
+		t.Fatalf("entry lost after transient read error: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestVersionMismatchQuarantined: a file from a future (or ancient)
+// format version is quarantined, never decoded.
+func TestVersionMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "k", snapN(1))
+	path := filepath.Join(dir, FileName("k"))
+	data, _ := os.ReadFile(path)
+	data[4] = 0xFF // format version low byte
+	os.WriteFile(path, data, 0o644)
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Len() != 0 {
+		t.Fatalf("future-version entry indexed: Len = %d", s2.Len())
+	}
+	if c := s2.Counters(); c.Corrupt != 1 {
+		t.Fatalf("Corrupt = %d, want 1", c.Corrupt)
+	}
+}
+
+// TestEmbeddedKeyMismatch plants a valid entry under the wrong
+// filename (an operator copying files around): the embedded key wins
+// and the imposter is quarantined on Get.
+func TestEmbeddedKeyMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	mustPut(t, s, "real", snapN(1))
+	data, err := os.ReadFile(filepath.Join(dir, FileName("real")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fabricate the file for a different key holding "real"'s bytes,
+	// then force it into the index by reopening (scan indexes by the
+	// embedded key, so use Get's path: seed the index via Put then
+	// overwrite the file on disk).
+	mustPut(t, s, "victim", snapN(2))
+	os.WriteFile(filepath.Join(dir, FileName("victim")), data, 0o644)
+	if _, ok, err := s.Get("victim"); ok || err != nil {
+		t.Fatalf("key-mismatched entry served: ok=%v err=%v", ok, err)
+	}
+	if got := corruptFiles(t, dir); len(got) != 1 {
+		t.Fatalf("imposter not quarantined: %v", got)
+	}
+}
+
+// TestScanIndexesByEmbeddedKey: a hand-renamed file still indexes
+// under the key its content declares.
+func TestScanIndexesByEmbeddedKey(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, Options{})
+	mustPut(t, s1, "k", snapN(5))
+	if err := os.Rename(filepath.Join(dir, FileName("k")),
+		filepath.Join(dir, "renamed-by-hand"+suffix)); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	// The content is intact and declares key "k", so the scan indexes
+	// it. Get goes through the canonical path, finds no file there,
+	// and reports that as a read error (the index said it existed) —
+	// never a bogus hit, never a panic.
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (indexed by embedded key)", s2.Len())
+	}
+	if snap, ok, _ := s2.Get("k"); ok && snap.Cycles != 5 {
+		t.Fatalf("hand-renamed entry served wrong data: %+v", snap)
+	}
+}
+
+// TestFsyncPolicy counts sync calls through the seam: fsync-on syncs
+// file and directory per Put, fsync-off never calls sync at all.
+func TestFsyncPolicy(t *testing.T) {
+	in := faultfs.NewInjector(nil)
+	s := mustOpen(t, t.TempDir(), Options{FS: in, Fsync: true})
+	mustPut(t, s, "k", snapN(1))
+	if in.OpCount(faultfs.OpSync) != 1 || in.OpCount(faultfs.OpSyncDir) != 1 {
+		t.Fatalf("fsync=true: sync=%d syncdir=%d, want 1/1",
+			in.OpCount(faultfs.OpSync), in.OpCount(faultfs.OpSyncDir))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if in.OpCount(faultfs.OpSyncDir) != 2 {
+		t.Fatalf("Close with fsync=true must sync the directory")
+	}
+
+	in2 := faultfs.NewInjector(nil)
+	s2 := mustOpen(t, t.TempDir(), Options{FS: in2, Fsync: false})
+	mustPut(t, s2, "k", snapN(1))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if in2.OpCount(faultfs.OpSync) != 0 || in2.OpCount(faultfs.OpSyncDir) != 0 {
+		t.Fatalf("fsync=false must never sync, got sync=%d syncdir=%d",
+			in2.OpCount(faultfs.OpSync), in2.OpCount(faultfs.OpSyncDir))
+	}
+}
+
+// TestConcurrentRestartRace runs writers against one store while a
+// second store opens over the same directory — the restart race. Run
+// under -race in CI; the contract is no data race, no panic, and the
+// second store serving only verified entries.
+func TestConcurrentRestartRace(t *testing.T) {
+	dir := t.TempDir()
+	s1 := mustOpen(t, dir, Options{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := []string{"a", "b", "c", "d", "e", "f"}[(w*2+i)%6]
+				_ = s1.Put(key, snapN(uint64(i)))
+				_, _, _ = s1.Get(key)
+			}
+		}(w)
+	}
+	// "Restart" concurrently, several times.
+	for r := 0; r < 5; r++ {
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("restart %d: %v", r, err)
+		}
+		for _, k := range s2.Keys() {
+			if _, _, err := s2.Get(k); err != nil {
+				t.Fatalf("restart %d: Get(%s): %v", r, k, err)
+			}
+		}
+		if c := s2.Counters(); c.Corrupt != 0 {
+			// Atomic rename means a concurrent writer can never
+			// expose a torn entry — except its in-flight .tmp file,
+			// which a scan may legitimately quarantine. Only count
+			// committed-entry corruption as failure.
+			for _, name := range corruptFiles(t, dir) {
+				if !strings.Contains(name, tmpSuffix) {
+					t.Fatalf("restart %d quarantined a committed entry: %s", r, name)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFileNameStable(t *testing.T) {
+	// The filename schema is shared between micache and micached
+	// processes across deploys; pin it.
+	if got := FileName("w=FwSoft|v=CacheRW"); got != FileName("w=FwSoft|v=CacheRW") {
+		t.Fatal("FileName not deterministic")
+	}
+	if FileName("a") == FileName("b") {
+		t.Fatal("trivial collision")
+	}
+	if !strings.HasSuffix(FileName("a"), suffix) {
+		t.Fatal("missing suffix")
+	}
+}

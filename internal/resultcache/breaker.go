@@ -1,0 +1,190 @@
+package resultcache
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Breaker wraps a Store in a circuit breaker so a failing disk cannot
+// drag every request through its error path. Closed, it is a
+// transparent proxy that counts consecutive failures; after Failures
+// of them in a row it trips open, and while open every Get is an
+// instant clean miss and every Put is dropped — the cache above
+// degrades to memory-only without seeing a single store error. After
+// Cooldown it lets exactly one probe operation through (half-open): a
+// success closes the breaker again, a failure re-opens it for another
+// cooldown.
+//
+// "Failure" means an operation error — persist.Store returns errors
+// only for I/O faults (media trouble), not for corruption or misses,
+// so the breaker reacts to the disk being sick, not to cache contents.
+type Breaker struct {
+	under    Store
+	failures int           // consecutive failures that trip the breaker
+	cooldown time.Duration // open duration before a half-open probe
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips metrics.Counter
+}
+
+// BreakerState is the breaker position; the zero value is closed.
+type BreakerState uint8
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// NewBreaker wraps under, tripping after failures consecutive errors
+// (minimum 1) and probing again after cooldown.
+func NewBreaker(under Store, failures int, cooldown time.Duration) *Breaker {
+	if failures < 1 {
+		failures = 1
+	}
+	return &Breaker{under: under, failures: failures, cooldown: cooldown}
+}
+
+// Get implements Store. While open it reports a clean miss without
+// touching the underlying store. A clean miss from the store is
+// recorded as neutral, not success: persist answers index misses from
+// memory without any I/O, so a miss is no evidence the disk works —
+// treating it as one would let miss/write-fail traffic reset the
+// failure streak forever and the breaker would never trip.
+func (b *Breaker) Get(key string) (stats.Snapshot, bool, error) {
+	if !b.allow() {
+		return stats.Snapshot{}, false, nil
+	}
+	snap, ok, err := b.under.Get(key)
+	switch {
+	case err != nil:
+		b.record(outcomeFailure)
+	case ok:
+		b.record(outcomeSuccess)
+	default:
+		b.record(outcomeNeutral)
+	}
+	return snap, ok, err
+}
+
+// Put implements Store. While open it drops the write without
+// touching the underlying store.
+func (b *Breaker) Put(key string, snap stats.Snapshot) error {
+	if !b.allow() {
+		return nil
+	}
+	err := b.under.Put(key, snap)
+	if err != nil {
+		b.record(outcomeFailure)
+	} else {
+		b.record(outcomeSuccess)
+	}
+	return err
+}
+
+// allow decides whether an operation may reach the underlying store,
+// transitioning open → half-open when the cooldown has elapsed. In
+// half-open, only the single probe that caused the transition
+// proceeds; concurrent operations are rejected until it resolves.
+func (b *Breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// outcome classifies one store operation for the breaker's health
+// accounting: failure (an error — real disk trouble), success (data
+// moved to or from the disk), or neutral (a clean miss that performed
+// no I/O, so it is evidence of nothing).
+type outcome uint8
+
+const (
+	outcomeFailure outcome = iota
+	outcomeSuccess
+	outcomeNeutral
+)
+
+// record books an operation outcome: in half-open it resolves the
+// probe (close on success, re-open on failure, release the probe slot
+// but stay half-open on neutral — the next operation probes again);
+// closed it counts consecutive failures and trips when the threshold
+// is reached, with neutral outcomes leaving the streak untouched.
+func (b *Breaker) record(o outcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		switch o {
+		case outcomeFailure:
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			b.trips.Inc()
+		case outcomeSuccess:
+			b.state = BreakerClosed
+			b.consec = 0
+		}
+		return
+	}
+	switch o {
+	case outcomeSuccess:
+		b.consec = 0
+	case outcomeFailure:
+		b.consec++
+		if b.state == BreakerClosed && b.consec >= b.failures {
+			b.state = BreakerOpen
+			b.openedAt = time.Now()
+			b.trips.Inc()
+		}
+	}
+}
+
+// State reports the breaker position. An elapsed cooldown is reported
+// as half-open even before an operation arrives to probe, so /readyz
+// and /metrics see "recovering" rather than a stale "open".
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 { return b.trips.Load() }

@@ -26,6 +26,17 @@ import (
 	"repro/internal/stats"
 )
 
+// Store is a second, persistent tier behind the in-memory LRU: a
+// content-addressed snapshot store keyed by the same canonical keys.
+// Get distinguishes a clean miss (false, nil) from a read failure
+// (error != nil) so callers can track disk health; both are served as
+// misses here. Implementations must be safe for concurrent use.
+// *persist.Store implements it, as does the Breaker that wraps one.
+type Store interface {
+	Get(key string) (stats.Snapshot, bool, error)
+	Put(key string, snap stats.Snapshot) error
+}
+
 // Cache is the bounded LRU plus the in-flight table. All methods are
 // safe for concurrent use.
 type Cache struct {
@@ -37,8 +48,10 @@ type Cache struct {
 	items   map[string]*list.Element
 	flights map[string]*Flight
 	bytes   int64
+	store   Store // optional disk tier; nil = memory only
 
-	hits, misses, evictions metrics.Counter
+	hits, misses, evictions       metrics.Counter
+	diskHits, diskMisses, diskErr metrics.Counter
 }
 
 type entry struct {
@@ -64,6 +77,17 @@ func New(maxEntries int, maxBytes int64) *Cache {
 	}
 }
 
+// SetStore attaches a persistent tier. The cache writes completed
+// snapshots through to it and falls back to it on memory misses; store
+// failures are counted, never propagated — a broken disk degrades the
+// cache to memory-only behavior, it does not fail requests. Attach
+// before serving traffic.
+func (c *Cache) SetStore(s Store) {
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
 // Flight is one in-progress computation of a key. The leader (the
 // caller Acquire elected) runs the simulation and must call Complete
 // exactly once; everyone else Waits.
@@ -75,44 +99,100 @@ type Flight struct {
 	err  error
 }
 
-// Acquire resolves key under one lock, returning exactly one of three
-// outcomes: a cached snapshot (hit == true); leadership of a new
-// flight (leader == true — run the simulation and Complete f); or an
-// existing flight to Wait on (f != nil, leader == false). A hit counts
-// toward the hit counter; an elected leader counts a miss (a
-// simulation will run); joining an existing flight counts nothing
-// until it resolves.
+// Acquire resolves key, returning exactly one of three outcomes: a
+// cached snapshot (hit == true); leadership of a new flight
+// (leader == true — run the simulation and Complete f); or an existing
+// flight to Wait on (f != nil, leader == false). A hit counts toward
+// the hit counter; an elected leader counts a miss (a simulation will
+// run); joining an existing flight counts nothing until it resolves.
+//
+// When a Store is attached, the elected leader consults it before
+// being handed the miss: a disk hit is promoted into memory and
+// resolves the flight immediately (every concurrent waiter gets the
+// snapshot, so disk reads collapse exactly like simulations do), and
+// Acquire reports it as a plain hit. The disk lookup happens outside
+// the cache lock — memory hits and unrelated keys never wait on I/O.
 func (c *Cache) Acquire(key string) (snap stats.Snapshot, hit bool, f *Flight, leader bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits.Inc()
-		return el.Value.(*entry).snap, true, nil, false
+		snap = el.Value.(*entry).snap
+		c.mu.Unlock()
+		return snap, true, nil, false
 	}
 	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
 		return stats.Snapshot{}, false, f, false
 	}
 	f = &Flight{c: c, key: key, done: make(chan struct{})}
 	c.flights[key] = f
+	store := c.store
+	c.mu.Unlock()
+
+	if store != nil {
+		if dsnap, ok := c.diskGet(store, key); ok {
+			c.mu.Lock()
+			c.putLocked(key, dsnap)
+			delete(c.flights, key)
+			c.hits.Inc()
+			c.mu.Unlock()
+			// No write-back: the entry came from disk.
+			f.snap = dsnap
+			close(f.done)
+			return dsnap, true, nil, false
+		}
+	}
 	c.misses.Inc()
 	return stats.Snapshot{}, false, f, true
 }
 
+// diskGet consults the persistent tier, folding read failures into
+// misses (counted separately) so a sick disk can never fail a lookup.
+func (c *Cache) diskGet(store Store, key string) (stats.Snapshot, bool) {
+	snap, ok, err := store.Get(key)
+	switch {
+	case err != nil:
+		c.diskErr.Inc()
+		return stats.Snapshot{}, false
+	case ok:
+		c.diskHits.Inc()
+		return snap, true
+	default:
+		c.diskMisses.Inc()
+		return stats.Snapshot{}, false
+	}
+}
+
 // Complete resolves a flight: on err == nil the snapshot is cached
 // (before the flight is released, so no request can slip between the
-// flight ending and the cache filling and run the simulation again),
-// then every Wait returns. Error or interrupted results are never
-// cached. Only the flight's leader may call it, exactly once.
+// flight ending and the cache filling and run the simulation again)
+// and written through to the Store if one is attached, then every Wait
+// returns. The disk write happens before the flight resolves — after
+// Complete returns, the entry is durable or the failure is counted —
+// but a write failure never fails the request; the snapshot is still
+// served from memory. Error or interrupted results are never cached.
+// Only the flight's leader may call it, exactly once.
 func (c *Cache) Complete(f *Flight, snap stats.Snapshot, err error) {
 	c.mu.Lock()
+	var store Store
 	if err == nil {
 		c.putLocked(f.key, snap)
+		store = c.store
 	}
 	delete(c.flights, f.key)
 	c.mu.Unlock()
+	if store != nil {
+		c.writeThrough(store, f.key, snap)
+	}
 	f.snap, f.err = snap, err
 	close(f.done)
+}
+
+func (c *Cache) writeThrough(store Store, key string, snap stats.Snapshot) {
+	if err := store.Put(key, snap); err != nil {
+		c.diskErr.Inc()
+	}
 }
 
 // Wait blocks until the flight's leader Completes it or ctx is done.
@@ -133,27 +213,46 @@ func (f *Flight) Wait(ctx context.Context) (stats.Snapshot, error) {
 
 // Get is a plain lookup for callers that manage their own collapsing
 // (the matrix sweep runs cells through one admission slot, so it has no
-// concurrent duplicates to collapse). Counts a hit or a miss.
+// concurrent duplicates to collapse). Falls back to the Store on a
+// memory miss, promoting disk hits into memory. Counts a hit or a
+// miss.
 func (c *Cache) Get(key string) (stats.Snapshot, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits.Inc()
-		return el.Value.(*entry).snap, true
+		snap := el.Value.(*entry).snap
+		c.mu.Unlock()
+		return snap, true
+	}
+	store := c.store
+	c.mu.Unlock()
+	if store != nil {
+		if snap, ok := c.diskGet(store, key); ok {
+			c.mu.Lock()
+			c.putLocked(key, snap)
+			c.hits.Inc()
+			c.mu.Unlock()
+			return snap, true
+		}
 	}
 	c.misses.Inc()
 	return stats.Snapshot{}, false
 }
 
 // Put stores a completed run's snapshot, evicting from the LRU tail
-// until both bounds hold. A snapshot alone larger than the byte budget
-// is not stored at all (storing it would evict the whole cache and then
-// itself).
+// until both bounds hold, and writes it through to the Store if one is
+// attached. A snapshot alone larger than the byte budget is not stored
+// in memory (storing it would evict the whole cache and then itself),
+// but it still goes to disk, which has no byte bound.
 func (c *Cache) Put(key string, snap stats.Snapshot) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.putLocked(key, snap)
+	store := c.store
+	c.mu.Unlock()
+	if store != nil {
+		c.writeThrough(store, key, snap)
+	}
 }
 
 func (c *Cache) putLocked(key string, snap stats.Snapshot) {
@@ -200,4 +299,12 @@ func (c *Cache) Bytes() int64 {
 // (simulations started), and evictions, for /metrics.
 func (c *Cache) Counters() (hits, misses, evictions uint64) {
 	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}
+
+// DiskCounters reports the persistent tier's view from the cache side:
+// lookups served from disk, disk lookups that missed, and store
+// operations (Get or Put) that returned an error. All zero when no
+// Store is attached.
+func (c *Cache) DiskCounters() (hits, misses, errors uint64) {
+	return c.diskHits.Load(), c.diskMisses.Load(), c.diskErr.Load()
 }

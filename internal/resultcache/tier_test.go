@@ -1,0 +1,369 @@
+package resultcache
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// fakeStore is an in-memory Store with per-operation error switches,
+// standing in for internal/persist (which has its own suite) so these
+// tests pin the cache-side contract alone.
+type fakeStore struct {
+	mu      sync.Mutex
+	m       map[string]stats.Snapshot
+	getErr  error
+	putErr  error
+	gets    int
+	puts    int
+	lastPut string
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: make(map[string]stats.Snapshot)} }
+
+func (s *fakeStore) Get(key string) (stats.Snapshot, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	if s.getErr != nil {
+		return stats.Snapshot{}, false, s.getErr
+	}
+	snap, ok := s.m[key]
+	return snap, ok, nil
+}
+
+func (s *fakeStore) Put(key string, snap stats.Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	s.lastPut = key
+	if s.putErr != nil {
+		return s.putErr
+	}
+	s.m[key] = snap
+	return nil
+}
+
+func (s *fakeStore) setErrs(get, put error) {
+	s.mu.Lock()
+	s.getErr, s.putErr = get, put
+	s.mu.Unlock()
+}
+
+func (s *fakeStore) counts() (gets, puts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets, s.puts
+}
+
+func TestCompleteWritesThrough(t *testing.T) {
+	c := New(4, 0)
+	st := newFakeStore()
+	c.SetStore(st)
+
+	_, hit, f, leader := c.Acquire("k1")
+	if hit || !leader {
+		t.Fatalf("expected leadership on cold cache, hit=%v leader=%v", hit, leader)
+	}
+	c.Complete(f, snapN(7), nil)
+
+	if snap, ok := st.m["k1"]; !ok || !snap.Equal(snapN(7)) {
+		t.Fatalf("Complete did not write through to the store: %+v ok=%v", snap, ok)
+	}
+	// Failed runs must not reach the disk either.
+	_, _, f2, _ := c.Acquire("k2")
+	c.Complete(f2, stats.Snapshot{}, errors.New("boom"))
+	if _, ok := st.m["k2"]; ok {
+		t.Fatal("errored flight was written to the store")
+	}
+}
+
+func TestAcquireFallsBackToDisk(t *testing.T) {
+	c := New(4, 0)
+	st := newFakeStore()
+	st.m["warm"] = snapN(9)
+	c.SetStore(st)
+
+	snap, hit, _, leader := c.Acquire("warm")
+	if !hit || leader || !snap.Equal(snapN(9)) {
+		t.Fatalf("disk entry not served as a hit: hit=%v leader=%v snap=%+v", hit, leader, snap)
+	}
+	dh, dm, de := c.DiskCounters()
+	if dh != 1 || dm != 0 || de != 0 {
+		t.Fatalf("disk counters = %d/%d/%d, want 1/0/0", dh, dm, de)
+	}
+	if _, puts := st.counts(); puts != 0 {
+		t.Fatal("disk hit must not be written back to the store")
+	}
+
+	// Promoted: the second lookup is a pure memory hit.
+	gets0, _ := st.counts()
+	if _, hit, _, _ := c.Acquire("warm"); !hit {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if gets, _ := st.counts(); gets != gets0 {
+		t.Fatal("memory hit consulted the disk")
+	}
+}
+
+func TestGetFallsBackToDisk(t *testing.T) {
+	c := New(4, 0)
+	st := newFakeStore()
+	st.m["warm"] = snapN(3)
+	c.SetStore(st)
+
+	if snap, ok := c.Get("warm"); !ok || !snap.Equal(snapN(3)) {
+		t.Fatalf("Get did not fall back to disk: ok=%v snap=%+v", ok, snap)
+	}
+	if _, ok := c.Get("cold"); ok {
+		t.Fatal("Get invented an entry")
+	}
+	dh, dm, _ := c.DiskCounters()
+	if dh != 1 || dm != 1 {
+		t.Fatalf("disk counters = %d hits %d misses, want 1/1", dh, dm)
+	}
+}
+
+func TestStoreErrorsAreMissesNotFailures(t *testing.T) {
+	c := New(4, 0)
+	st := newFakeStore()
+	st.setErrs(errors.New("io: read"), errors.New("io: write"))
+	c.SetStore(st)
+
+	// Read error → clean leadership, no panic, no served garbage.
+	_, hit, f, leader := c.Acquire("k")
+	if hit || !leader {
+		t.Fatalf("read error must degrade to a miss: hit=%v leader=%v", hit, leader)
+	}
+	// Write error on Complete → snapshot still served from memory.
+	c.Complete(f, snapN(5), nil)
+	if snap, ok := c.Get("k"); !ok || !snap.Equal(snapN(5)) {
+		t.Fatalf("write error lost the in-memory entry: ok=%v snap=%+v", ok, snap)
+	}
+	if _, _, de := c.DiskCounters(); de != 2 {
+		t.Fatalf("disk errors = %d, want 2 (one read, one write)", de)
+	}
+}
+
+func TestPutWritesThrough(t *testing.T) {
+	c := New(4, 0)
+	st := newFakeStore()
+	c.SetStore(st)
+	c.Put("k", snapN(2))
+	if snap, ok := st.m["k"]; !ok || !snap.Equal(snapN(2)) {
+		t.Fatal("Put did not write through")
+	}
+}
+
+func TestOversizedEntryStillReachesDisk(t *testing.T) {
+	c := New(4, 8) // byte budget below any entry's size
+	st := newFakeStore()
+	c.SetStore(st)
+	c.Put("big", snapN(1))
+	if c.Len() != 0 {
+		t.Fatal("oversized entry stored in memory")
+	}
+	if _, ok := st.m["big"]; !ok {
+		t.Fatal("oversized entry dropped from disk, which has no byte bound")
+	}
+}
+
+func TestDiskHitResolvesWaiters(t *testing.T) {
+	c := New(4, 0)
+	st := newFakeStore()
+	st.m["k"] = snapN(11)
+	c.SetStore(st)
+
+	// A waiter that joined the flight before the leader's disk lookup
+	// resolved must get the disk snapshot without a simulation.
+	_, hit, f, leader := c.Acquire("k")
+	if !hit {
+		t.Fatalf("expected disk hit, leader=%v f=%v", leader, f != nil)
+	}
+	// The flight is resolved; a late Acquire is a plain memory hit.
+	if _, hit, _, _ := c.Acquire("k"); !hit {
+		t.Fatal("flight resolution did not populate memory")
+	}
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	st := newFakeStore()
+	b := NewBreaker(st, 3, 25*time.Millisecond)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+	st.setErrs(errors.New("disk gone"), errors.New("disk gone"))
+	for i := 0; i < 3; i++ {
+		if _, _, err := b.Get("k"); err == nil {
+			t.Fatal("closed breaker should pass errors through")
+		}
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// Open: operations short-circuit — no store traffic, no errors.
+	gets0, puts0 := st.counts()
+	if _, ok, err := b.Get("k"); ok || err != nil {
+		t.Fatalf("open Get = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if err := b.Put("k", snapN(1)); err != nil {
+		t.Fatalf("open Put returned %v, want dropped nil", err)
+	}
+	if gets, puts := st.counts(); gets != gets0 || puts != puts0 {
+		t.Fatal("open breaker touched the store")
+	}
+
+	// After cooldown the next op is a probe; still failing → re-open.
+	time.Sleep(30 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if _, _, err := b.Get("k"); err == nil {
+		t.Fatal("probe should reach the failing store")
+	}
+	if b.State() != BreakerOpen || b.Trips() != 2 {
+		t.Fatalf("failed probe: state=%v trips=%d, want open/2", b.State(), b.Trips())
+	}
+
+	// Disk heals; after another cooldown the probe closes the breaker.
+	st.setErrs(nil, nil)
+	time.Sleep(30 * time.Millisecond)
+	if err := b.Put("k", snapN(4)); err != nil {
+		t.Fatalf("healed probe failed: %v", err)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if snap, ok, err := b.Get("k"); err != nil || !ok || !snap.Equal(snapN(4)) {
+		t.Fatalf("closed breaker lookup = %+v ok=%v err=%v", snap, ok, err)
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	st := newFakeStore()
+	b := NewBreaker(st, 1, time.Hour) // never cools down on its own
+	st.setErrs(errors.New("x"), nil)
+	b.Get("k") // trips
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	// Force half-open by resetting openedAt into the past.
+	b.mu.Lock()
+	b.openedAt = time.Now().Add(-2 * time.Hour)
+	b.mu.Unlock()
+
+	// First op becomes the probe and blocks rivals: simulate by holding
+	// the probe slot manually via allow().
+	if !b.allow() {
+		t.Fatal("probe not admitted")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent op admitted during probe")
+	}
+	b.record(outcomeSuccess)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerNeutralProbeStaysHalfOpen(t *testing.T) {
+	st := newFakeStore()
+	b := NewBreaker(st, 1, time.Hour)
+	st.setErrs(errors.New("x"), errors.New("x"))
+	b.Get("k") // trips
+	b.mu.Lock()
+	b.openedAt = time.Now().Add(-2 * time.Hour) // cooldown elapsed
+	b.mu.Unlock()
+
+	// The store heals for reads but the key is absent: the probe is a
+	// clean miss — no disk evidence either way, so the breaker stays
+	// half-open (releasing the probe slot) rather than closing on air.
+	st.setErrs(nil, errors.New("still broken"))
+	if _, ok, err := b.Get("missing"); ok || err != nil {
+		t.Fatalf("probe = ok=%v err=%v, want clean miss", ok, err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after neutral probe = %v, want half-open", b.State())
+	}
+	// The next op probes again; a real failure re-opens.
+	if err := b.Put("k", snapN(1)); err == nil {
+		t.Fatal("probe Put should fail")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	st := newFakeStore()
+	b := NewBreaker(st, 2, time.Hour)
+	fail := errors.New("x")
+	st.setErrs(fail, nil)
+	b.Get("k") // failure 1
+	st.setErrs(nil, nil)
+	b.Put("k", snapN(1)) // disk evidence: success resets the streak
+	st.setErrs(fail, nil)
+	b.Get("k") // failure 1 again — must not trip
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.Get("k") // failure 2 — trips
+	if b.State() != BreakerOpen {
+		t.Fatal("consecutive failures did not trip the breaker")
+	}
+}
+
+func TestBreakerCleanMissDoesNotResetStreak(t *testing.T) {
+	st := newFakeStore()
+	b := NewBreaker(st, 2, time.Hour)
+	fail := errors.New("write: disk gone")
+
+	// Alternating clean Get misses (index fast-path, no I/O) and Put
+	// failures — the realistic shape of miss-then-write-through traffic
+	// against a write-dead disk. The misses must not keep the breaker
+	// from tripping.
+	st.setErrs(nil, fail)
+	b.Get("a")
+	b.Put("a", snapN(1)) // failure 1
+	b.Get("b")
+	b.Put("b", snapN(2)) // failure 2 — trips
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open (clean misses reset the streak?)", b.State())
+	}
+}
+
+func TestCacheBehindTrippedBreakerIsMemoryOnly(t *testing.T) {
+	c := New(4, 0)
+	st := newFakeStore()
+	b := NewBreaker(st, 1, time.Hour)
+	c.SetStore(b)
+
+	st.setErrs(nil, errors.New("disk gone"))
+	_, _, f, _ := c.Acquire("k1")
+	c.Complete(f, snapN(1), nil) // write-through fails → breaker trips
+
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", b.State())
+	}
+	// Memory-only from here: requests still work, store untouched.
+	gets0, puts0 := st.counts()
+	_, _, f2, leader := c.Acquire("k2")
+	if !leader {
+		t.Fatal("expected leadership")
+	}
+	c.Complete(f2, snapN(2), nil)
+	if snap, hit, _, _ := c.Acquire("k2"); !hit || !snap.Equal(snapN(2)) {
+		t.Fatal("memory-only mode lost the entry")
+	}
+	if gets, puts := st.counts(); gets != gets0 || puts != puts0 {
+		t.Fatal("tripped breaker let traffic through")
+	}
+}
